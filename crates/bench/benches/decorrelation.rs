@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the decorrelation objective (§4.7): cost of
+//! the loss + gradient as a function of sample count `n` (expect linear)
+//! and representation dimension `d` (expect quadratic), for both the RFF
+//! and the linear ("no RFF") variants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodgnn_core::{decorrelation_loss, DecorrelationKind};
+use tensor::rng::Rng;
+use tensor::{Tape, Tensor};
+
+fn loss_and_grad(z: &Tensor, kind: &DecorrelationKind, rng: &mut Rng) -> f32 {
+    let n = z.nrows();
+    let mut tape = Tape::new();
+    let zn = tape.constant(z.clone());
+    let wn = tape.leaf(Tensor::ones([n]));
+    let loss = decorrelation_loss(&mut tape, zn, wn, kind, rng);
+    let g = tape.backward(loss);
+    g.get(wn).map(|t| t.sum()).unwrap_or(0.0)
+}
+
+fn bench_vs_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decorrelation_vs_n");
+    for &n in &[64usize, 128, 256, 512] {
+        let mut rng = Rng::seed_from(1);
+        let z = Tensor::randn([n, 32], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q: 1 }, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decorrelation_vs_d");
+    for &d in &[16usize, 32, 64, 128] {
+        let mut rng = Rng::seed_from(2);
+        let z = Tensor::randn([128, d], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| {
+                black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q: 1 }, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decorrelation_variants");
+    let mut rng = Rng::seed_from(3);
+    let z = Tensor::randn([128, 32], &mut rng);
+    group.bench_function("linear", |bench| {
+        bench.iter(|| black_box(loss_and_grad(&z, &DecorrelationKind::Linear, &mut rng)));
+    });
+    for q in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("rff_q", q), &q, |bench, &q| {
+            bench.iter(|| black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q }, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_samples, bench_vs_dim, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the global–local weight estimator: a full
+//! inner reweighting step (Eq. 8 concat + Eq. 5 covariance + Adam step +
+//! projection) and the memory update (Eq. 9). The paper's claim is that
+//! the per-batch cost is `O((K+1)|B|)` — independent of the dataset size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodgnn_core::{decorrelation_loss, DecorrelationKind, GlobalMemory, GraphWeights};
+use tensor::optim::{Adam, Optimizer};
+use tensor::rng::Rng;
+use tensor::{Tape, Tensor};
+
+fn inner_step(mem: &GlobalMemory, z: &Tensor, w: &mut GraphWeights, opt: &mut Adam, rng: &mut Rng) {
+    let b = z.nrows();
+    let (z_hat, w_hat) = mem.concat(z, w.values());
+    let kb = z_hat.nrows() - b;
+    let mut tape = Tape::new();
+    let zn = tape.constant(z_hat);
+    let wl = w.bind(&mut tape);
+    let wl2 = tape.reshape(wl, [b, 1]);
+    let w_full = if kb > 0 {
+        let wg = tape.constant(Tensor::from_vec(w_hat.data()[..kb].to_vec(), [kb, 1]));
+        tape.concat_rows(&[wg, wl2])
+    } else {
+        wl2
+    };
+    let loss = decorrelation_loss(&mut tape, zn, w_full, &DecorrelationKind::Rff { q: 1 }, rng);
+    let g = tape.backward(loss);
+    opt.step(vec![w.param_mut()], &g);
+    w.project();
+}
+
+fn bench_inner_step_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_step_vs_k");
+    let b = 64;
+    let d = 32;
+    for &k in &[1usize, 2, 4] {
+        let mut rng = Rng::seed_from(1);
+        let mut mem = GlobalMemory::with_uniform_gamma(k, b, d, 0.9);
+        let z = Tensor::randn([b, d], &mut rng);
+        mem.update(&z, &Tensor::ones([b]));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            let mut w = GraphWeights::uniform(b);
+            let mut opt = Adam::new(0.05);
+            bench.iter(|| {
+                inner_step(&mem, &z, &mut w, &mut opt, &mut rng);
+                black_box(w.values().sum())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_update(c: &mut Criterion) {
+    c.bench_function("memory_update", |bench| {
+        let mut rng = Rng::seed_from(2);
+        let mut mem = GlobalMemory::with_uniform_gamma(2, 128, 64, 0.9);
+        let z = Tensor::randn([128, 64], &mut rng);
+        let w = Tensor::ones([128]);
+        bench.iter(|| {
+            mem.update(&z, &w);
+            black_box(mem.group(0).0.sum())
+        });
+    });
+}
+
+fn bench_memory_concat(c: &mut Criterion) {
+    c.bench_function("memory_concat", |bench| {
+        let mut rng = Rng::seed_from(3);
+        let mut mem = GlobalMemory::with_uniform_gamma(4, 128, 64, 0.9);
+        let z = Tensor::randn([128, 64], &mut rng);
+        let w = Tensor::ones([128]);
+        mem.update(&z, &w);
+        bench.iter(|| {
+            let (zh, wh) = mem.concat(&z, &w);
+            black_box(zh.sum() + wh.sum())
+        });
+    });
+}
+
+criterion_group!(benches, bench_inner_step_vs_k, bench_memory_update, bench_memory_concat);
+criterion_main!(benches);

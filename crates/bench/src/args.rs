@@ -1,0 +1,119 @@
+//! A minimal `--flag value` command-line parser (keeps the workspace free
+//! of an argument-parsing dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` arguments with typed accessors and defaults.
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (for tests).
+    pub fn parse(items: impl Iterator<Item = String>) -> Self {
+        let mut values = BTreeMap::new();
+        let mut key: Option<String> = None;
+        for item in items {
+            if let Some(stripped) = item.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    // Previous flag had no value: boolean true.
+                    values.insert(k, "true".to_string());
+                }
+                key = Some(stripped.to_string());
+            } else if let Some(k) = key.take() {
+                values.insert(k, item);
+            } else {
+                panic!("unexpected positional argument: {item}");
+            }
+        }
+        if let Some(k) = key.take() {
+            values.insert(k, "true".to_string());
+        }
+        Args { values }
+    }
+
+    /// A `f32` flag with a default.
+    pub fn get_f32(&self, key: &str, default: f32) -> f32 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// A `usize` flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// A boolean flag (`--flag` or `--flag true/false`).
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        self.values
+            .get(key)
+            .map(|v| v == "true" || v == "1")
+            .unwrap_or(default)
+    }
+
+    /// A string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether the flag was provided at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_typed_flags() {
+        let a = args("--frac 0.5 --seeds 3 --full --name table2");
+        assert_eq!(a.get_f32("frac", 1.0), 0.5);
+        assert_eq!(a.get_usize("seeds", 1), 3);
+        assert!(a.get_bool("full", false));
+        assert_eq!(a.get_str("name", "x"), "table2");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("");
+        assert_eq!(a.get_f32("frac", 0.25), 0.25);
+        assert!(!a.get_bool("full", false));
+        assert!(!a.has("frac"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag() {
+        let a = args("--verbose");
+        assert!(a.get_bool("verbose", false));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected positional")]
+    fn rejects_positional() {
+        let _ = args("oops");
+    }
+}

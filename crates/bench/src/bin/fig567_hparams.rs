@@ -1,0 +1,125 @@
+//! Figures 5–7 — hyper-parameter sensitivity of OOD-GNN on TRIANGLES,
+//! D&D₃₀₀ and OGBG-MOLBACE: number of message-passing layers, hidden
+//! dimensionality `d`, number of global weight groups `K`, and the
+//! momentum coefficient γ.
+//!
+//! Usage: `cargo run -p bench --release --bin fig567_hparams
+//!   [--frac 0.05] [--ogb-cap 300] [--seeds 2] [--epochs 12]`
+
+use bench::{fmt_cell, Args, MethodSpec, SuiteConfig};
+use datasets::ogb::{self, OgbDataset};
+use datasets::social::SocialConfig;
+use datasets::triangles::TrianglesConfig;
+use datasets::OodBenchmark;
+use oodgnn_core::OodGnn;
+use tensor::rng::Rng;
+
+/// A named tweak applied to the OOD-GNN config before a sweep run.
+type Setting = (String, Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>);
+
+fn run_with(bench: &OodBenchmark, suite: &SuiteConfig, seed: u64, tweak: impl Fn(&mut oodgnn_core::OodGnnConfig)) -> f32 {
+    let mut cfg = suite.oodgnn_config();
+    tweak(&mut cfg);
+    let mut rng = Rng::seed_from(seed);
+    let mut model = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    model.train(bench, seed ^ 0x5151).test_metric
+}
+
+fn sweep(
+    title: &str,
+    benches: &[(&str, OodBenchmark)],
+    suite: &SuiteConfig,
+    base_seed: u64,
+    settings: &[Setting],
+) {
+    println!("## {title}\n");
+    print!("| Setting |");
+    for (name, _) in benches {
+        print!(" {name} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in benches {
+        print!("---|");
+    }
+    println!();
+    for (label, tweak) in settings {
+        print!("| {label} |");
+        for (_, bench) in benches {
+            let is_reg = bench.dataset.task().is_regression();
+            let vals: Vec<f32> = (0..suite.seeds as u64)
+                .map(|s| run_with(bench, suite, base_seed + 800 + s, tweak))
+                .collect();
+            print!(" {} |", fmt_cell(&vals, is_reg));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut suite = SuiteConfig::from_args(&args);
+    if !args.has("seeds") {
+        suite.seeds = 2;
+    }
+    let base_seed = args.get_u64("seed", 7);
+    let cap = {
+        let c = args.get_usize("ogb-cap", 300);
+        if c == 0 {
+            None
+        } else {
+            Some(c)
+        }
+    };
+
+    let benches = [
+        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)),
+        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        ("BACE", ogb::generate(OgbDataset::Bace, cap, base_seed)),
+    ];
+    let _ = MethodSpec::OodGnn;
+
+    println!("# Figures 5–7: hyper-parameter sensitivity (OOD test metric)\n");
+
+    let layer_settings: Vec<Setting> = [1usize, 2, 3, 4, 5]
+        .iter()
+        .map(|&l| {
+            (format!("{l} layers"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                c.model.layers = l;
+            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+        })
+        .collect();
+    sweep("Message-passing layers", &benches, &suite, base_seed, &layer_settings);
+
+    let dim_settings: Vec<Setting> = [8usize, 16, 32, 64]
+        .iter()
+        .map(|&d| {
+            (format!("d = {d}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                c.model.hidden = d;
+            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+        })
+        .collect();
+    sweep("Representation dimensionality d", &benches, &suite, base_seed + 1, &dim_settings);
+
+    let k_settings: Vec<Setting> = [1usize, 2, 4]
+        .iter()
+        .map(|&k| {
+            (format!("K = {k}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                c.k_groups = k;
+            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+        })
+        .collect();
+    sweep("Global weight groups K", &benches, &suite, base_seed + 2, &k_settings);
+
+    let gamma_settings: Vec<Setting> =
+        [0.1f32, 0.5, 0.9, 0.99]
+            .iter()
+            .map(|&g| {
+                (format!("γ = {g}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                    c.gamma = g;
+                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+            })
+            .collect();
+    sweep("Momentum coefficient γ", &benches, &suite, base_seed + 3, &gamma_settings);
+}

@@ -1,0 +1,42 @@
+//! Table 1 — dataset statistics for all 14 benchmarks.
+//!
+//! Usage: `cargo run -p bench --release --bin table1 [--frac 0.05] [--ogb-cap 400]`
+//! `--frac 1.0 --ogb-cap 0` reproduces paper-scale sizes (0 = uncapped).
+
+use bench::Args;
+use datasets::mnistsp::{MnistSpConfig, NoiseVariant};
+use datasets::ogb::{self, OgbDataset};
+use datasets::social::SocialConfig;
+use datasets::stats::{compute, to_markdown};
+use datasets::triangles::TrianglesConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let frac = args.get_f32("frac", 0.05);
+    let ogb_cap = args.get_usize("ogb-cap", 400);
+    let cap = if ogb_cap == 0 { None } else { Some(ogb_cap) };
+    let seed = args.get_u64("seed", 7);
+
+    let mut rows = vec![compute(
+        &datasets::triangles::generate(&TrianglesConfig::scaled(frac), seed),
+        "Size",
+    )];
+    rows.push(compute(
+        &datasets::mnistsp::generate(&MnistSpConfig::scaled(frac).with_variant(NoiseVariant::Noise), seed),
+        "Feature",
+    ));
+    rows.push(compute(&datasets::social::generate(&SocialConfig::collab35(frac), seed), "Size"));
+    rows.push(compute(&datasets::social::generate(&SocialConfig::proteins25(frac), seed), "Size"));
+    rows.push(compute(&datasets::social::generate(&SocialConfig::dd200(frac), seed), "Size"));
+    rows.push(compute(&datasets::social::generate(&SocialConfig::dd300(frac), seed), "Size"));
+    for &d in &ogb::ALL {
+        rows.push(compute(&ogb::generate(d, cap, seed), "Scaffold"));
+    }
+    let _ = OgbDataset::Hiv; // paper sizes available via OgbDataset::paper_size
+    println!("# Table 1: dataset statistics (frac={frac}, ogb cap={ogb_cap})\n");
+    println!("{}", to_markdown(&rows));
+    println!("\nPaper-scale OGB sizes for reference:");
+    for &d in &ogb::ALL {
+        println!("  {} = {} graphs", d.name(), d.paper_size());
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 3 — test accuracy under graph-size distribution shift:
+//! COLLAB₃₅, PROTEINS₂₅, D&D₂₀₀, D&D₃₀₀ for the eight baselines and
+//! OOD-GNN.
+//!
+//! Usage:
+//!   cargo run -p bench --release --bin table3 [--frac 0.05] [--seeds 3]
+//!     [--epochs 12]
+//!
+//! Paper scale is `--frac 1.0 --seeds 10 --epochs 100`.
+
+use bench::{fmt_cell, run_method, Args, MethodSpec, SuiteConfig};
+use datasets::social::{generate, SocialConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let suite = SuiteConfig::from_args(&args);
+    let base_seed = args.get_u64("seed", 7);
+
+    let benches = [
+        ("COLLAB-35", generate(&SocialConfig::collab35(suite.frac), base_seed)),
+        ("PROTEINS-25", generate(&SocialConfig::proteins25(suite.frac), base_seed)),
+        ("D&D-200", generate(&SocialConfig::dd200(suite.frac), base_seed)),
+        ("D&D-300", generate(&SocialConfig::dd300(suite.frac), base_seed)),
+    ];
+
+    println!(
+        "# Table 3: size-shift datasets, test accuracy (frac={}, seeds={}, epochs={})\n",
+        suite.frac, suite.seeds, suite.epochs
+    );
+    print!("| # Train/Test |");
+    for (name, b) in &benches {
+        print!(" {name} {}/{} |", b.split.train.len(), b.split.test.len());
+    }
+    println!();
+    println!("|---|---|---|---|---|");
+
+    for method in MethodSpec::table_methods() {
+        print!("| {} |", method.name());
+        for (_, bench) in &benches {
+            let vals: Vec<f32> = (0..suite.seeds as u64)
+                .map(|s| run_method(method, bench, &suite, base_seed + 300 + s).test_metric)
+                .collect();
+            print!(" {} |", fmt_cell(&vals, false));
+        }
+        println!();
+    }
+}

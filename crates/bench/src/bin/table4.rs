@@ -1,0 +1,65 @@
+//! Table 4 — nine OGB-like molecular datasets under scaffold split:
+//! ROC-AUC (↑) for the seven classification datasets, RMSE (↓) for the two
+//! regression datasets, eight baselines + OOD-GNN.
+//!
+//! Usage:
+//!   cargo run -p bench --release --bin table4 [--ogb-cap 300] [--seeds 3]
+//!     [--epochs 12] [--datasets TOX21,BACE,...]
+//!
+//! Paper scale is `--ogb-cap 0 --seeds 10 --epochs 100` (0 = uncapped).
+
+use bench::{fmt_cell, run_method, Args, MethodSpec, SuiteConfig};
+use datasets::ogb::{self, OgbDataset};
+
+fn main() {
+    let args = Args::from_env();
+    let suite = SuiteConfig::from_args(&args);
+    let base_seed = args.get_u64("seed", 7);
+    let cap = {
+        let c = args.get_usize("ogb-cap", 300);
+        if c == 0 {
+            None
+        } else {
+            Some(c)
+        }
+    };
+    let filter = args.get_str("datasets", "");
+    let selected: Vec<OgbDataset> = if filter.is_empty() {
+        ogb::ALL.to_vec()
+    } else {
+        let names: Vec<&str> = filter.split(',').collect();
+        ogb::ALL
+            .iter()
+            .copied()
+            .filter(|d| names.contains(&d.name()))
+            .collect()
+    };
+
+    println!(
+        "# Table 4: OGB scaffold-split datasets (cap={:?}, seeds={}, epochs={})\n",
+        cap, suite.seeds, suite.epochs
+    );
+    print!("| Method |");
+    for d in &selected {
+        let arrow = if d.task().is_regression() { "RMSE↓" } else { "AUC↑" };
+        print!(" {} ({arrow}) |", d.name());
+    }
+    println!();
+    print!("|---|");
+    for _ in &selected {
+        print!("---|");
+    }
+    println!();
+
+    let benches: Vec<_> = selected.iter().map(|&d| (d, ogb::generate(d, cap, base_seed))).collect();
+    for method in MethodSpec::table_methods() {
+        print!("| {} |", method.name());
+        for (d, bench) in &benches {
+            let vals: Vec<f32> = (0..suite.seeds as u64)
+                .map(|s| run_method(method, bench, &suite, base_seed + 400 + s).test_metric)
+                .collect();
+            print!(" {} |", fmt_cell(&vals, d.task().is_regression()));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,324 @@
+//! The weighted partial cross-covariance decorrelation objective
+//! (Eq. 5 and 7/10 of the paper).
+//!
+//! For representations `Z ∈ R^{n×d}` and sample weights `w ∈ R^n`, the
+//! objective is `Σ_{1 ≤ i < j ≤ d} ‖Ĉ^w_{Z_i, Z_j}‖²_F`, where `Ĉ^w` is
+//! the weighted covariance between the RFF liftings of dimensions `i` and
+//! `j`. Minimizing it in `w` reweights the sample so all representation
+//! dimensions become (approximately, and nonlinearly) independent; the
+//! squared Frobenius norm of the *linear* covariance is the "no RFF"
+//! ablation (the paper's Variant 2, Figure 2).
+//!
+//! Implementation: with `U_q = center(w ⊙ f_q(Z))` and
+//! `V_{q'} = center(w ⊙ g_{q'}(Z))`, all pairwise entries are computed at
+//! once as `P^{qq'} = U_qᵀ V_{q'} / (n−1) ∈ R^{d×d}` — the loss is the sum
+//! of squared strict-upper-triangle entries over all `(q, q')`, costing
+//! `O(Q² n d²)` (linear in the sample size, as the paper requires).
+
+use crate::rff::RffParams;
+use tensor::ops::Axis;
+use tensor::rng::Rng;
+use tensor::{NodeId, Tape, Tensor};
+
+/// Which feature lifting the decorrelation loss uses.
+#[derive(Clone, Debug)]
+pub enum DecorrelationKind {
+    /// Random Fourier features with `q` functions per dimension (the
+    /// paper's method; `q = 1` is its default setting).
+    Rff {
+        /// Number of RFF functions per dimension.
+        q: usize,
+    },
+    /// Identity features — eliminates only *linear* correlation (the
+    /// paper's "no RFF" ablation, Variant 2).
+    Linear,
+}
+
+/// A strict-upper-triangle 0/1 mask of size `d×d`.
+fn upper_triangle_mask(d: usize) -> Tensor {
+    let mut m = Tensor::zeros([d, d]);
+    for i in 0..d {
+        for j in (i + 1)..d {
+            *m.at_mut(i, j) = 1.0;
+        }
+    }
+    m
+}
+
+/// Center the columns of `[n, d]` and weight rows by `w` (`[n, 1]`):
+/// returns `w ⊙ x − mean_n(w ⊙ x)` as in Eq. 5.
+fn weighted_center(tape: &mut Tape, x: NodeId, w: NodeId) -> NodeId {
+    let wx = tape.mul(x, w);
+    let mean = tape.mean_axis(wx, Axis::Rows);
+    tape.sub(wx, mean)
+}
+
+/// The pairwise covariance penalty between two centered feature matrices:
+/// `‖mask ⊙ (UᵀV)/(n−1)‖²_F` summed over the strict upper triangle.
+fn pair_penalty(tape: &mut Tape, u: NodeId, v: NodeId, mask: NodeId, n: usize) -> NodeId {
+    let ut = tape.transpose(u);
+    let prod = tape.matmul(ut, v);
+    let scale = 1.0 / (n.max(2) as f32 - 1.0);
+    let cov = tape.mul_scalar(prod, scale);
+    let masked = tape.mul(cov, mask);
+    let sq = tape.square(masked);
+    tape.sum(sq)
+}
+
+/// Build the decorrelation loss node for representations `z` (`[n, d]`)
+/// and weights `w` (`[n]` or `[n, 1]`).
+///
+/// For the RFF variant, `f` and `g` are two independent RFF draws (as in
+/// Eq. 4 where `f` and `g` are separate function tuples); pass an `rng` to
+/// draw them. Gradients flow into both `z` and `w`, so the same node serves
+/// the weight-optimization inner loop (with `z` detached) and any
+/// encoder-side use (with `w` detached).
+pub fn decorrelation_loss(
+    tape: &mut Tape,
+    z: NodeId,
+    w: NodeId,
+    kind: &DecorrelationKind,
+    rng: &mut Rng,
+) -> NodeId {
+    let (n, d) = tape.shape(z).as_matrix();
+    let w = match tape.shape(w).rank() {
+        1 => tape.reshape(w, [n, 1]),
+        2 => w,
+        r => panic!("weights must be rank 1 or 2, got rank {r}"),
+    };
+    assert_eq!(tape.shape(w).dims(), &[n, 1], "weights must have one entry per sample");
+    let mask = tape.constant(upper_triangle_mask(d));
+    match kind {
+        DecorrelationKind::Linear => {
+            let u = weighted_center(tape, z, w);
+            pair_penalty(tape, u, u, mask, n)
+        }
+        DecorrelationKind::Rff { q } => {
+            let f = RffParams::sample(d, *q, rng);
+            let g = RffParams::sample(d, *q, rng);
+            let fu: Vec<NodeId> = f
+                .apply(tape, z)
+                .into_iter()
+                .map(|feat| weighted_center(tape, feat, w))
+                .collect();
+            let gv: Vec<NodeId> = g
+                .apply(tape, z)
+                .into_iter()
+                .map(|feat| weighted_center(tape, feat, w))
+                .collect();
+            let mut total: Option<NodeId> = None;
+            for &u in &fu {
+                for &v in &gv {
+                    let p = pair_penalty(tape, u, v, mask, n);
+                    total = Some(match total {
+                        Some(t) => tape.add(t, p),
+                        None => p,
+                    });
+                }
+            }
+            total.expect("q >= 1")
+        }
+    }
+}
+
+/// Closed-form reference implementation of the **linear** decorrelation
+/// loss (no tape): used to cross-check the autodiff construction in tests.
+pub fn linear_loss_reference(z: &Tensor, w: &Tensor) -> f32 {
+    let (n, d) = z.shape().as_matrix();
+    assert_eq!(w.numel(), n);
+    // Weighted, centered columns.
+    let mut u = vec![vec![0f32; n]; d];
+    for (i, ui) in u.iter_mut().enumerate() {
+        let col: Vec<f32> = (0..n).map(|r| w.data()[r] * z.at(r, i)).collect();
+        let mean = col.iter().sum::<f32>() / n as f32;
+        for r in 0..n {
+            ui[r] = col[r] - mean;
+        }
+    }
+    let scale = 1.0 / (n.max(2) as f32 - 1.0);
+    let mut total = 0f32;
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let c: f32 = (0..n).map(|r| u[i][r] * u[j][r]).sum::<f32>() * scale;
+            total += c * c;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::check::assert_gradients;
+
+    #[test]
+    fn linear_variant_matches_reference() {
+        let mut rng = Rng::seed_from(1);
+        let z = Tensor::randn([16, 5], &mut rng);
+        let w = Tensor::rand_uniform([16], 0.5, 1.5, &mut rng);
+        let mut tape = Tape::new();
+        let zn = tape.leaf(z.clone());
+        let wn = tape.leaf(w.clone());
+        let loss = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng);
+        let reference = linear_loss_reference(&z, &w);
+        assert!(
+            (tape.value(loss).item() - reference).abs() < 1e-4,
+            "{} vs {reference}",
+            tape.value(loss).item()
+        );
+    }
+
+    #[test]
+    fn independent_dims_give_small_loss_correlated_give_large() {
+        let mut rng = Rng::seed_from(2);
+        let n = 256;
+        // Independent columns.
+        let indep = Tensor::randn([n, 2], &mut rng);
+        // Perfectly correlated columns.
+        let col: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mut corr_data = Vec::with_capacity(2 * n);
+        for &c in &col {
+            corr_data.push(c);
+            corr_data.push(c);
+        }
+        let corr = Tensor::from_vec(corr_data, [n, 2]);
+        let w = Tensor::ones([n]);
+        let eval = |z: &Tensor, rng: &mut Rng| {
+            let mut tape = Tape::new();
+            let zn = tape.constant(z.clone());
+            let wn = tape.leaf(w.clone());
+            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng);
+            tape.value(l).item()
+        };
+        let li = eval(&indep, &mut rng);
+        let lc = eval(&corr, &mut rng);
+        assert!(lc > 20.0 * li, "correlated {lc} vs independent {li}");
+    }
+
+    #[test]
+    fn rff_detects_nonlinear_dependence_linear_does_not() {
+        // y = x² is uncorrelated with x for symmetric x, but dependent.
+        let mut rng = Rng::seed_from(3);
+        let n = 512;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mut data = Vec::with_capacity(2 * n);
+        for &x in &xs {
+            data.push(x);
+            data.push(x * x - 1.0); // centered x²
+        }
+        let z = Tensor::from_vec(data, [n, 2]);
+        let w = Tensor::ones([n]);
+        let eval = |kind: &DecorrelationKind, seed: u64| {
+            // Average over RFF draws for stability.
+            let mut acc = 0.0;
+            let reps = 16;
+            for r in 0..reps {
+                let mut rng = Rng::seed_from(seed + r);
+                let mut tape = Tape::new();
+                let zn = tape.constant(z.clone());
+                let wn = tape.leaf(w.clone());
+                let l = decorrelation_loss(&mut tape, zn, wn, kind, &mut rng);
+                acc += tape.value(l).item();
+            }
+            acc / reps as f32
+        };
+        let linear = eval(&DecorrelationKind::Linear, 100);
+        let rff = eval(&DecorrelationKind::Rff { q: 4 }, 100);
+        assert!(
+            rff > 5.0 * linear.max(1e-4),
+            "RFF should expose the nonlinear dependence: rff {rff} vs linear {linear}"
+        );
+    }
+
+    #[test]
+    fn gradcheck_weights_linear() {
+        let mut rng = Rng::seed_from(4);
+        let z = Tensor::randn([8, 3], &mut rng);
+        let w = Tensor::rand_uniform([8], 0.5, 1.5, &mut rng);
+        assert_gradients(&[w], 1e-3, 2e-2, move |tape, ids| {
+            let mut r = Rng::seed_from(9);
+            let zn = tape.constant(z.clone());
+            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Linear, &mut r)
+        });
+    }
+
+    #[test]
+    fn gradcheck_weights_rff() {
+        let mut rng = Rng::seed_from(5);
+        let z = Tensor::randn([8, 3], &mut rng);
+        let w = Tensor::rand_uniform([8], 0.5, 1.5, &mut rng);
+        // Same RFF draw for every evaluation: fixed inner seed.
+        assert_gradients(&[w], 1e-3, 2e-2, move |tape, ids| {
+            let mut r = Rng::seed_from(11);
+            let zn = tape.constant(z.clone());
+            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Rff { q: 2 }, &mut r)
+        });
+    }
+
+    #[test]
+    fn gradcheck_representations_rff() {
+        let mut rng = Rng::seed_from(6);
+        let z = Tensor::randn([6, 3], &mut rng);
+        assert_gradients(&[z], 1e-3, 3e-2, move |tape, ids| {
+            let mut r = Rng::seed_from(13);
+            let n = tape.shape(ids[0]).dim(0);
+            let wn = tape.constant(Tensor::ones([n]));
+            decorrelation_loss(tape, ids[0], wn, &DecorrelationKind::Rff { q: 1 }, &mut r)
+        });
+    }
+
+    #[test]
+    fn reweighting_can_reduce_dependence() {
+        // Construct data where half the samples carry a strong correlation;
+        // down-weighting them should reduce the linear loss.
+        let mut rng = Rng::seed_from(7);
+        let n = 64;
+        let mut data = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let x = rng.normal();
+            let y = if i < n / 2 { x } else { rng.normal() };
+            data.push(x);
+            data.push(y);
+        }
+        let z = Tensor::from_vec(data, [n, 2]);
+        let uniform = Tensor::ones([n]);
+        let mut down = Tensor::ones([n]);
+        for i in 0..n / 2 {
+            down.data_mut()[i] = 0.2;
+        }
+        // Keep total mass comparable.
+        let s: f32 = down.data().iter().sum();
+        down = down.mul_scalar(n as f32 / s);
+        let eval = |w: &Tensor| {
+            let mut r = Rng::seed_from(1);
+            let mut tape = Tape::new();
+            let zn = tape.constant(z.clone());
+            let wn = tape.leaf(w.clone());
+            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut r);
+            tape.value(l).item()
+        };
+        assert!(eval(&down) < eval(&uniform), "down-weighting correlated samples must help");
+    }
+
+    #[test]
+    fn loss_scales_linearly_with_samples() {
+        // Doubling n should roughly preserve the loss magnitude (it is an
+        // average-based statistic), demonstrating O(n) behaviour rather than
+        // growing quadratically.
+        let mut rng = Rng::seed_from(8);
+        let eval_n = |n: usize, rng: &mut Rng| {
+            let z = Tensor::randn([n, 4], rng);
+            let w = Tensor::ones([n]);
+            let mut tape = Tape::new();
+            let zn = tape.constant(z);
+            let wn = tape.leaf(w);
+            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng);
+            tape.value(l).item()
+        };
+        let small = eval_n(64, &mut rng);
+        let large = eval_n(256, &mut rng);
+        // Sample covariance of independent data shrinks with n; the loss
+        // must not blow up.
+        assert!(large < small * 4.0 + 1.0, "{small} vs {large}");
+    }
+}

@@ -1,0 +1,226 @@
+//! The global–local weight estimator (paper §3.3, Eq. 8–9).
+//!
+//! `K` groups of global representations `Z^(g_k) ∈ R^{|B|×d}` and weights
+//! `W^(g_k) ∈ R^{|B|}` act as momentum-updated memories of past
+//! mini-batches. For each batch, the local `(Z^(l), W^(l))` is concatenated
+//! with all groups to form `(Ẑ, Ŵ) ∈ R^{(K+1)|B|×d}`, over which the
+//! weighted partial cross-covariance is computed — keeping the weights
+//! consistent across the whole dataset at `O((K+1)|B|)` cost instead of
+//! `O(N)`.
+
+use tensor::Tensor;
+
+/// One momentum memory group.
+struct Group {
+    z: Tensor,
+    w: Tensor,
+    gamma: f32,
+}
+
+/// The K-group global memory.
+pub struct GlobalMemory {
+    groups: Vec<Group>,
+    batch_size: usize,
+    dim: usize,
+    initialized: bool,
+}
+
+impl GlobalMemory {
+    /// `k` groups for batches of `batch_size` rows of dimension `dim`,
+    /// each group using momentum `gammas[k]` (`γ` close to 1 = long-term
+    /// memory, small `γ` = short-term memory).
+    pub fn new(batch_size: usize, dim: usize, gammas: &[f32]) -> Self {
+        assert!(!gammas.is_empty(), "need at least one group");
+        for &g in gammas {
+            assert!((0.0..1.0).contains(&g), "momentum must be in [0,1), got {g}");
+        }
+        GlobalMemory {
+            groups: gammas
+                .iter()
+                .map(|&gamma| Group {
+                    z: Tensor::zeros([batch_size, dim]),
+                    w: Tensor::ones([batch_size]),
+                    gamma,
+                })
+                .collect(),
+            batch_size,
+            dim,
+            initialized: false,
+        }
+    }
+
+    /// Convenience: `k` groups sharing one momentum coefficient (the
+    /// paper's default K=1, γ=0.9).
+    pub fn with_uniform_gamma(k: usize, batch_size: usize, dim: usize, gamma: f32) -> Self {
+        Self::new(batch_size, dim, &vec![gamma; k.max(1)])
+    }
+
+    /// Number of groups `K`.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Representation dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether any update has been absorbed yet.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Concatenate the global groups with a local batch (Eq. 8). Before the
+    /// first update, or for partial batches (`rows ≠ |B|`), only the local
+    /// data is returned (the memory cannot align with a different batch
+    /// size).
+    pub fn concat(&self, local_z: &Tensor, local_w: &Tensor) -> (Tensor, Tensor) {
+        let (rows, d) = local_z.shape().as_matrix();
+        assert_eq!(d, self.dim, "dim mismatch");
+        assert_eq!(local_w.numel(), rows, "weight count mismatch");
+        if !self.initialized || rows != self.batch_size {
+            return (local_z.clone(), local_w.reshape([rows]));
+        }
+        let mut zs: Vec<&Tensor> = self.groups.iter().map(|g| &g.z).collect();
+        zs.push(local_z);
+        let z_hat = Tensor::vcat(&zs);
+        let mut w_data = Vec::with_capacity((self.groups.len() + 1) * self.batch_size);
+        for g in &self.groups {
+            w_data.extend_from_slice(g.w.data());
+        }
+        w_data.extend_from_slice(local_w.data());
+        let len = w_data.len();
+        let w_hat = Tensor::from_vec(w_data, [len]);
+        (z_hat, w_hat)
+    }
+
+    /// Momentum update of every group with the optimized local batch
+    /// (Eq. 9): `Z^(g_k) ← γ_k Z^(g_k) + (1−γ_k) Z^(l)` (same for `W`).
+    /// The first full batch initializes all groups directly; partial
+    /// batches are ignored.
+    pub fn update(&mut self, local_z: &Tensor, local_w: &Tensor) {
+        let (rows, d) = local_z.shape().as_matrix();
+        assert_eq!(d, self.dim, "dim mismatch");
+        if rows != self.batch_size {
+            return;
+        }
+        let w_flat = local_w.reshape([rows]);
+        if !self.initialized {
+            for g in &mut self.groups {
+                g.z = local_z.clone();
+                g.w = w_flat.clone();
+            }
+            self.initialized = true;
+            return;
+        }
+        for g in &mut self.groups {
+            g.z = g.z.mul_scalar(g.gamma).add(&local_z.mul_scalar(1.0 - g.gamma));
+            g.w = g.w.mul_scalar(g.gamma).add(&w_flat.mul_scalar(1.0 - g.gamma));
+        }
+    }
+
+    /// Inspect a group's memory (for tests/diagnostics).
+    pub fn group(&self, k: usize) -> (&Tensor, &Tensor, f32) {
+        let g = &self.groups[k];
+        (&g.z, &g.w, g.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::rng::Rng;
+
+    #[test]
+    fn concat_before_init_is_local_only() {
+        let mem = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.9);
+        let z = Tensor::ones([4, 3]);
+        let w = Tensor::ones([4]);
+        let (zh, wh) = mem.concat(&z, &w);
+        assert_eq!(zh.shape().dims(), &[4, 3]);
+        assert_eq!(wh.numel(), 4);
+    }
+
+    #[test]
+    fn concat_after_init_includes_groups() {
+        let mut mem = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.9);
+        let z = Tensor::ones([4, 3]);
+        let w = Tensor::ones([4]);
+        mem.update(&z, &w);
+        assert!(mem.is_initialized());
+        let (zh, wh) = mem.concat(&z, &w);
+        assert_eq!(zh.shape().dims(), &[12, 3]); // (K+1)|B| = 3*4
+        assert_eq!(wh.numel(), 12);
+    }
+
+    #[test]
+    fn momentum_update_converges_to_stream_mean() {
+        let mut mem = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.5);
+        let w = Tensor::ones([2]);
+        mem.update(&Tensor::zeros([2, 1]), &w); // init with zeros
+        for _ in 0..30 {
+            mem.update(&Tensor::ones([2, 1]), &w);
+        }
+        let (z, _, gamma) = mem.group(0);
+        assert_eq!(gamma, 0.5);
+        assert!(z.data().iter().all(|&x| (x - 1.0).abs() < 1e-4), "{z:?}");
+    }
+
+    #[test]
+    fn large_gamma_is_long_term_memory() {
+        let mut long = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.95);
+        let mut short = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.1);
+        let w = Tensor::ones([2]);
+        long.update(&Tensor::zeros([2, 1]), &w);
+        short.update(&Tensor::zeros([2, 1]), &w);
+        long.update(&Tensor::ones([2, 1]), &w);
+        short.update(&Tensor::ones([2, 1]), &w);
+        // Short-term memory moves much further toward the newest batch.
+        assert!(short.group(0).0.data()[0] > long.group(0).0.data()[0] + 0.5);
+    }
+
+    #[test]
+    fn partial_batches_are_ignored() {
+        let mut mem = GlobalMemory::with_uniform_gamma(1, 4, 2, 0.9);
+        let z4 = Tensor::ones([4, 2]);
+        let w4 = Tensor::ones([4]);
+        mem.update(&z4, &w4);
+        let before = mem.group(0).0.clone();
+        let z3 = Tensor::full([3, 2], 99.0);
+        let w3 = Tensor::ones([3]);
+        mem.update(&z3, &w3);
+        assert_eq!(mem.group(0).0, &before, "partial batch must not corrupt memory");
+        // And concat with a partial batch returns local only.
+        let (zh, _) = mem.concat(&z3, &w3);
+        assert_eq!(zh.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn mixed_gammas_per_group() {
+        let mem = GlobalMemory::new(4, 2, &[0.9, 0.5, 0.1]);
+        assert_eq!(mem.num_groups(), 3);
+        assert_eq!(mem.group(0).2, 0.9);
+        assert_eq!(mem.group(2).2, 0.1);
+    }
+
+    #[test]
+    fn deterministic_update_sequence() {
+        let mut rng = Rng::seed_from(1);
+        let mut a = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.8);
+        let mut b = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.8);
+        for _ in 0..5 {
+            let z = Tensor::randn([4, 3], &mut rng);
+            let w = Tensor::rand_uniform([4], 0.5, 1.5, &mut rng);
+            a.update(&z, &w);
+            b.update(&z, &w);
+        }
+        assert_eq!(a.group(1).0, b.group(1).0);
+        assert_eq!(a.group(1).1, b.group(1).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn rejects_gamma_one() {
+        let _ = GlobalMemory::new(2, 2, &[1.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # oodgnn-core
+//!
+//! The paper's primary contribution: **OOD-GNN**, an out-of-distribution
+//! generalized graph neural network trained by *nonlinear graph
+//! representation decorrelation*.
+//!
+//! The method (paper §3) jointly optimizes a graph encoder Φ, a classifier
+//! R and per-graph sample weights **W**:
+//!
+//! 1. **Random Fourier features** ([`rff`]) lift every representation
+//!    dimension into a feature space where vanishing covariance implies
+//!    statistical independence (Eq. 4).
+//! 2. The **weighted partial cross-covariance** between every pair of
+//!    representation dimensions ([`decorrelation`]) measures their
+//!    dependence (Eq. 5); its squared Frobenius norm is the decorrelation
+//!    objective (Eq. 7/10).
+//! 3. A **global–local weight estimator** ([`global_local`]) keeps `K`
+//!    momentum-updated memory groups of representations and weights so the
+//!    per-batch weight optimization stays consistent across the whole
+//!    dataset at `O((K+1)|B|)` cost (Eq. 8–9).
+//! 4. The **training loop** ([`trainer`]) alternates `Epoch_Reweight` inner
+//!    steps on the weights with one weighted-ERM step on encoder +
+//!    classifier (Algorithm 1).
+
+pub mod analysis;
+pub mod decorrelation;
+pub mod global_local;
+pub mod rff;
+pub mod trainer;
+pub mod weights;
+
+pub use decorrelation::{decorrelation_loss, DecorrelationKind};
+pub use global_local::GlobalMemory;
+pub use rff::RffParams;
+pub use trainer::{OodGnn, OodGnnConfig, OodGnnReport};
+pub use weights::GraphWeights;

@@ -1,0 +1,140 @@
+//! Learnable per-graph sample weights with the paper's constraints:
+//! `Σ_n w_n = N` (§3.1) and an ℓ²-norm regularizer "to prevent degenerated
+//! solutions" (§4.1.3), implemented as projection after every optimizer
+//! step.
+
+use tensor::nn::Param;
+use tensor::{NodeId, Tape, Tensor};
+
+/// The local graph-weight vector `W^(l)` for a mini-batch, uniformly
+/// initialized to 1 (Algorithm 1 line 4) and optimized against the
+/// decorrelation objective.
+pub struct GraphWeights {
+    param: Param,
+    floor: f32,
+}
+
+impl GraphWeights {
+    /// Uniform weights of length `n` with the default floor `1e-3`.
+    pub fn uniform(n: usize) -> Self {
+        GraphWeights { param: Param::new(Tensor::ones([n])), floor: 1e-3 }
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.param.value.numel()
+    }
+
+    /// True if the weight vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current weights.
+    pub fn values(&self) -> &Tensor {
+        &self.param.value
+    }
+
+    /// Bind onto a tape for the inner optimization.
+    pub fn bind(&mut self, tape: &mut Tape) -> NodeId {
+        self.param.bind(tape)
+    }
+
+    /// Access the underlying parameter (for the optimizer).
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.param
+    }
+
+    /// Project onto the constraint set: clamp to the floor and rescale so
+    /// the weights sum to `n` (mean 1), the mini-batch version of the
+    /// paper's `Σ w = N` constraint. Alternates clamp/rescale so the floor
+    /// holds *after* normalization too (rescaling alone can push entries
+    /// back below it when a few weights dominate).
+    pub fn project(&mut self) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let floor = self.floor;
+        for _ in 0..4 {
+            self.param.value.map_inplace(|x| x.max(floor));
+            let sum: f32 = self.param.value.data().iter().sum();
+            if sum <= 0.0 {
+                break;
+            }
+            let scale = n as f32 / sum;
+            self.param.value.map_inplace(|x| x * scale);
+            if self.param.value.data().iter().all(|&x| x >= floor * 0.999) {
+                break;
+            }
+        }
+        // Final clamp guarantees the floor; the sum is then within
+        // `n * floor` of the target, which the optimizer tolerates.
+        self.param.value.map_inplace(|x| x.max(floor));
+    }
+
+    /// The ℓ² regularization term `λ·mean(w²)` added to the inner
+    /// objective; returns the term's node.
+    pub fn l2_penalty(&self, tape: &mut Tape, w_node: NodeId, lambda: f32) -> NodeId {
+        let sq = tape.square(w_node);
+        let m = tape.mean(sq);
+        tape.mul_scalar(m, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn starts_uniform() {
+        let w = GraphWeights::uniform(5);
+        assert_eq!(w.len(), 5);
+        assert!(w.values().data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn project_restores_mean_one() {
+        let mut w = GraphWeights::uniform(4);
+        w.param.value = Tensor::from_vec(vec![8.0, 0.0, -3.0, 1.0], [4]);
+        w.project();
+        let sum: f32 = w.values().data().iter().sum();
+        assert!((sum - 4.0).abs() < 1e-5, "sum {sum}");
+        assert!(w.values().data().iter().all(|&x| x > 0.0), "{:?}", w.values());
+    }
+
+    #[test]
+    fn project_keeps_uniform_fixed() {
+        let mut w = GraphWeights::uniform(7);
+        w.project();
+        assert!(w.values().data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn optimization_step_then_project_preserves_constraint() {
+        let mut w = GraphWeights::uniform(3);
+        let mut opt = Sgd::new(0.5);
+        let mut tape = Tape::new();
+        let wn = w.bind(&mut tape);
+        // Loss pushing first weight up: -w[0] via mask.
+        let mask = tape.constant(Tensor::from_vec(vec![-1.0, 0.0, 0.0], [3]));
+        let l = tape.mul(wn, mask);
+        let loss = tape.sum(l);
+        let g = tape.backward(loss);
+        opt.step(vec![w.param_mut()], &g);
+        w.project();
+        let sum: f32 = w.values().data().iter().sum();
+        assert!((sum - 3.0).abs() < 1e-5);
+        assert!(w.values().data()[0] > w.values().data()[1]);
+    }
+
+    #[test]
+    fn l2_penalty_value() {
+        let mut w = GraphWeights::uniform(2);
+        let mut tape = Tape::new();
+        let wn = w.bind(&mut tape);
+        let p = w.l2_penalty(&mut tape, wn, 2.0);
+        assert!((tape.value(p).item() - 2.0).abs() < 1e-6); // 2 * mean(1,1)
+    }
+}

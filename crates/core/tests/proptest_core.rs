@@ -1,0 +1,133 @@
+//! Property-based tests for the OOD-GNN core: the decorrelation objective,
+//! weight projection and the global memory.
+
+use oodgnn_core::trainer::standardize_columns;
+use oodgnn_core::{decorrelation_loss, DecorrelationKind, GlobalMemory, GraphWeights};
+use proptest::prelude::*;
+use tensor::rng::Rng;
+use tensor::{Tape, Tensor};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |d| Tensor::from_vec(d, [rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decorrelation_loss_is_nonnegative(z in matrix(8, 4), seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        for kind in [DecorrelationKind::Linear, DecorrelationKind::Rff { q: 1 }] {
+            let mut tape = Tape::new();
+            let zn = tape.constant(z.clone());
+            let wn = tape.leaf(Tensor::ones([8]));
+            let l = decorrelation_loss(&mut tape, zn, wn, &kind, &mut rng);
+            prop_assert!(tape.value(l).item() >= 0.0);
+            prop_assert!(tape.value(l).item().is_finite());
+        }
+    }
+
+    #[test]
+    fn linear_loss_matches_reference_on_random_input(
+        z in matrix(10, 3),
+        w_raw in proptest::collection::vec(0.1f32..2.0, 10),
+    ) {
+        let w = Tensor::from_vec(w_raw, [10]);
+        let mut rng = Rng::seed_from(1);
+        let mut tape = Tape::new();
+        let zn = tape.constant(z.clone());
+        let wn = tape.leaf(w.clone());
+        let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng);
+        let reference = oodgnn_core::decorrelation::linear_loss_reference(&z, &w);
+        let got = tape.value(l).item();
+        prop_assert!((got - reference).abs() < 1e-3 * (1.0 + reference.abs()), "{got} vs {reference}");
+    }
+
+    #[test]
+    fn projection_enforces_constraints(
+        raw in proptest::collection::vec(-5.0f32..5.0, 3..20),
+    ) {
+        let n = raw.len();
+        let mut w = GraphWeights::uniform(n);
+        w.param_mut().value = Tensor::from_vec(raw, [n]);
+        w.project();
+        let sum: f32 = w.values().data().iter().sum();
+        prop_assert!((sum - n as f32).abs() < 1e-3);
+        prop_assert!(w.values().data().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn projection_is_idempotent(
+        raw in proptest::collection::vec(0.01f32..5.0, 3..20),
+    ) {
+        let n = raw.len();
+        let mut w = GraphWeights::uniform(n);
+        w.param_mut().value = Tensor::from_vec(raw, [n]);
+        w.project();
+        let once = w.values().clone();
+        w.project();
+        prop_assert!(w.values().max_abs_diff(&once) < 1e-5);
+    }
+
+    #[test]
+    fn standardize_columns_normalizes(z in matrix(16, 3)) {
+        let s = standardize_columns(&z);
+        for j in 0..3 {
+            let col = s.col(j);
+            let mean = col.mean();
+            prop_assert!(mean.abs() < 1e-3, "col {j} mean {mean}");
+            let var = col.map(|x| x * x).mean() - mean * mean;
+            // Either unit variance or a degenerate (constant) column.
+            prop_assert!((var - 1.0).abs() < 1e-2 || var < 1e-6, "col {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn memory_stays_within_convex_hull(
+        batches in proptest::collection::vec(matrix(4, 2), 1..6),
+        gamma in 0.0f32..0.99,
+    ) {
+        // Every memory entry is a convex combination of seen batches, so it
+        // must stay inside the global min/max envelope.
+        let mut mem = GlobalMemory::with_uniform_gamma(1, 4, 2, gamma);
+        let w = Tensor::ones([4]);
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for b in &batches {
+            lo = lo.min(b.min());
+            hi = hi.max(b.max());
+            mem.update(b, &w);
+        }
+        let (z, _, _) = mem.group(0);
+        prop_assert!(z.min() >= lo - 1e-4 && z.max() <= hi + 1e-4);
+    }
+
+    #[test]
+    fn concat_layout_is_globals_then_local(z in matrix(4, 2)) {
+        let mut mem = GlobalMemory::with_uniform_gamma(2, 4, 2, 0.9);
+        let w = Tensor::ones([4]);
+        mem.update(&z, &w);
+        let local = z.mul_scalar(2.0);
+        let wl = Tensor::full([4], 0.5);
+        let (zh, wh) = mem.concat(&local, &wl);
+        prop_assert_eq!(zh.shape().dims(), &[12, 2]);
+        // Last block must equal the local batch, last weights the local ones.
+        for i in 0..4 {
+            for j in 0..2 {
+                prop_assert_eq!(zh.at(8 + i, j), local.at(i, j));
+            }
+            prop_assert_eq!(wh.data()[8 + i], 0.5);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_a_stationary_scale(z in matrix(8, 3)) {
+        // Scaling all weights by a constant then projecting returns uniform.
+        let mut w = GraphWeights::uniform(8);
+        w.param_mut().value = Tensor::full([8], 3.7);
+        w.project();
+        prop_assert!(w.values().data().iter().all(|&x| (x - 1.0).abs() < 1e-5));
+        let _ = z;
+    }
+}

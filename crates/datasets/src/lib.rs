@@ -1,0 +1,44 @@
+//! # ood-datasets
+//!
+//! Synthetic out-of-distribution graph benchmarks reproducing the data
+//! regimes of the OOD-GNN paper, plus evaluation metrics.
+//!
+//! The paper evaluates on 14 datasets in three families (its Table 1):
+//!
+//! * **Synthetic** — [`triangles`] (size shift) and [`mnistsp`] (feature
+//!   noise shift on superpixel graphs).
+//! * **Molecule & social, size split** — [`social`] provides COLLAB-,
+//!   PROTEINS- and D&D-like generators where graph size is spuriously
+//!   correlated with the label inside the training range and the test set
+//!   contains strictly larger graphs.
+//! * **OGB-like molecules, scaffold split** — [`molgen`] is a synthetic
+//!   molecule engine (scaffold ring systems + functional-group motifs with
+//!   a scaffold↔label spurious correlation in training scaffolds);
+//!   [`ogb`] instantiates the nine named OGBG-MOL* configurations.
+//!
+//! Every generator is deterministic given its seed and returns a
+//! [`graph::GraphDataset`] together with the OOD [`graph::Split`] that the
+//! paper's protocol prescribes.
+
+pub mod metrics;
+pub mod mnistsp;
+pub mod molgen;
+pub mod ogb;
+pub mod social;
+pub mod stats;
+pub mod triangles;
+
+/// A dataset bundled with its OOD train/val/test split.
+pub struct OodBenchmark {
+    /// The underlying dataset.
+    pub dataset: graph::GraphDataset,
+    /// The distribution-shift split.
+    pub split: graph::Split,
+}
+
+impl OodBenchmark {
+    /// Sanity-check split indices against the dataset.
+    pub fn validate(&self) -> Result<(), String> {
+        self.split.validate(self.dataset.len())
+    }
+}

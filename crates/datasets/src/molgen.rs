@@ -1,0 +1,559 @@
+//! Synthetic molecule engine with scaffolds, functional groups and a
+//! scaffold↔label spurious correlation — the substrate for the nine
+//! OGB-like datasets (paper §4.1.2, Table 4, Figure 1c).
+//!
+//! ## Generative model
+//!
+//! A molecule is a **scaffold** (a ring system drawn from a library of 20
+//! templates) decorated with 1–4 **functional-group motifs** attached at
+//! ring positions, plus optional aliphatic chain padding.
+//!
+//! * The **true labels** depend only on the motif counts (a fixed sparse
+//!   linear mechanism per task, thresholded for classification) — motifs
+//!   are the *relevant, invariant* representation, like the paper's
+//!   "predictive functional blocks of molecules".
+//! * The **scaffold** never enters the label mechanism, but during
+//!   generation the motif distribution is *tilted by the scaffold's group*
+//!   for the frequent (training) scaffolds: scaffold identity becomes
+//!   spuriously predictive of the label **within the training scaffolds
+//!   only**. Held-out scaffolds sample motifs untilted, so a model reading
+//!   scaffold features fails under the scaffold split — exactly the OOD
+//!   failure mode of Figure 1c.
+//! * Scaffold frequencies follow a Zipf law, so the standard
+//!   frequency-ordered [`graph::split::scaffold_split`] naturally places the
+//!   frequent (biased) scaffolds in train and the rare (untilted) ones in
+//!   test.
+//!
+//! Node features: one-hot atom type (6) + in-ring flag + degree/4 → 8 dims.
+
+use graph::{Graph, Label, TaskType};
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+/// Number of atom types (C, N, O, S, halogen, P).
+pub const NUM_ATOM_TYPES: usize = 6;
+/// Node feature dimension.
+pub const FEATURE_DIM: usize = NUM_ATOM_TYPES + 2;
+/// Number of functional-group motifs.
+pub const NUM_MOTIFS: usize = 8;
+/// Number of scaffold templates in the library.
+pub const NUM_SCAFFOLDS: usize = 20;
+
+/// Atom type codes.
+mod atom {
+    pub const C: usize = 0;
+    pub const N: usize = 1;
+    pub const O: usize = 2;
+    pub const S: usize = 3;
+    pub const X: usize = 4; // halogen
+    #[allow(dead_code)]
+    pub const P: usize = 5;
+}
+
+/// A scaffold template: atom types, undirected ring edges, and which atoms
+/// accept substituents.
+struct ScaffoldTemplate {
+    atoms: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+    attach: Vec<usize>,
+}
+
+/// An n-cycle of the given atom types.
+fn ring(types: &[usize]) -> ScaffoldTemplate {
+    let n = types.len();
+    let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    ScaffoldTemplate { atoms: types.to_vec(), edges, attach: (0..n).collect() }
+}
+
+/// A simple chain of the given atom types.
+fn chain(types: &[usize]) -> ScaffoldTemplate {
+    let n = types.len();
+    let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    ScaffoldTemplate { atoms: types.to_vec(), edges, attach: (0..n).collect() }
+}
+
+/// Fuse a second ring of size `m` onto atoms (0, 1) of a base ring.
+fn fused(base: &[usize], second: &[usize]) -> ScaffoldTemplate {
+    let mut t = ring(base);
+    let n = t.atoms.len();
+    let m = second.len();
+    // New atoms for the second ring except the two shared ones.
+    for &a in &second[..m - 2] {
+        t.atoms.push(a);
+    }
+    // Ring: 0 - n - n+1 - ... - n+m-3 - 1 - 0 (sharing edge 0-1).
+    let mut prev = 0usize;
+    for k in 0..m - 2 {
+        t.edges.push((prev, n + k));
+        prev = n + k;
+    }
+    t.edges.push((prev, 1));
+    t.attach = (0..t.atoms.len()).collect();
+    t
+}
+
+/// Join two rings by a single bond (biphenyl-like).
+fn joined(a: &[usize], b: &[usize]) -> ScaffoldTemplate {
+    let mut t = ring(a);
+    let n = t.atoms.len();
+    let second = ring(b);
+    for &at in &second.atoms {
+        t.atoms.push(at);
+    }
+    for &(u, v) in &second.edges {
+        t.edges.push((n + u, n + v));
+    }
+    t.edges.push((0, n));
+    t.attach = (0..t.atoms.len()).collect();
+    t
+}
+
+/// Two rings sharing one atom (spiro).
+fn spiro(a: &[usize], b: &[usize]) -> ScaffoldTemplate {
+    let mut t = ring(a);
+    let n = t.atoms.len();
+    let m = b.len();
+    for &at in &b[..m - 1] {
+        t.atoms.push(at);
+    }
+    // Second ring through shared atom 0: 0 - n - n+1 - ... - n+m-2 - 0.
+    let mut prev = 0usize;
+    for k in 0..m - 1 {
+        t.edges.push((prev, n + k));
+        prev = n + k;
+    }
+    t.edges.push((prev, 0));
+    t.attach = (0..t.atoms.len()).collect();
+    t
+}
+
+/// The scaffold library. Index = scaffold id.
+fn scaffold_library() -> Vec<ScaffoldTemplate> {
+    use atom::*;
+    let c6 = [C; 6];
+    let c5 = [C; 5];
+    vec![
+        ring(&c6),                                  // 0 benzene
+        ring(&c5),                                  // 1 cyclopentane
+        fused(&c6, &c6),                            // 2 naphthalene
+        fused(&c6, &[C, C, C, N, C]),               // 3 indole-like
+        joined(&c6, &c6),                           // 4 biphenyl
+        ring(&[N, C, C, C, C, C]),                  // 5 pyridine
+        ring(&[O, C, C, C, C]),                     // 6 furan
+        chain(&[C, C, C, C]),                       // 7 butane scaffold
+        ring(&[C; 8]),                              // 8 macrocycle-8
+        {
+            // 9: benzene with 2-carbon tail
+            let mut t = ring(&c6);
+            t.atoms.push(C);
+            t.atoms.push(C);
+            t.edges.push((0, 6));
+            t.edges.push((6, 7));
+            t.attach = (0..8).collect();
+            t
+        },
+        spiro(&c6, &c5),                            // 10 spiro[5.4]
+        {
+            // 11: anthracene-like (three fused 6-rings)
+            let mut t = fused(&c6, &c6);
+            let n = t.atoms.len();
+            for _ in 0..4 {
+                t.atoms.push(C);
+            }
+            t.edges.push((2, n));
+            t.edges.push((n, n + 1));
+            t.edges.push((n + 1, n + 2));
+            t.edges.push((n + 2, n + 3));
+            t.edges.push((n + 3, 3));
+            t.attach = (0..t.atoms.len()).collect();
+            t
+        },
+        ring(&[N, C, C, N, C, C]),                  // 12 piperazine
+        ring(&[S, C, C, C, C]),                     // 13 thiophene
+        {
+            // 14: bicyclo bridge
+            let mut t = ring(&c6);
+            t.atoms.push(C);
+            t.edges.push((0, 6));
+            t.edges.push((6, 3));
+            t.attach = (0..7).collect();
+            t
+        },
+        ring(&[N, C, N, C, C, C]),                  // 15 pyrimidine
+        ring(&[O, C, C, N, C, C]),                  // 16 morpholine
+        fused(&c5, &[C, C, C, C, C, C, C]),         // 17 azulene-like 5-7
+        chain(&[C, C, C, C, C, C]),                 // 18 hexane scaffold
+        joined(&c5, &c5),                           // 19 bi(cyclopentyl)
+    ]
+}
+
+/// A functional-group motif: atoms (first is the attachment root) and tree
+/// edges rooted at 0.
+struct Motif {
+    atoms: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// The motif library. Index = motif id.
+fn motif_library() -> Vec<Motif> {
+    use atom::*;
+    vec![
+        Motif { atoms: vec![C], edges: vec![] },                        // 0 methyl
+        Motif { atoms: vec![O], edges: vec![] },                        // 1 hydroxyl
+        Motif { atoms: vec![N], edges: vec![] },                        // 2 amine
+        Motif { atoms: vec![C, O, O], edges: vec![(0, 1), (0, 2)] },    // 3 carboxyl
+        Motif { atoms: vec![N, O, O], edges: vec![(0, 1), (0, 2)] },    // 4 nitro
+        Motif { atoms: vec![X], edges: vec![] },                        // 5 halogen
+        Motif { atoms: vec![S], edges: vec![] },                        // 6 thiol
+        Motif { atoms: vec![C, O, N], edges: vec![(0, 1), (0, 2)] },    // 7 amide
+    ]
+}
+
+/// Per-task label mechanism: a sparse ±1 weight vector over motif counts.
+#[derive(Clone, Debug)]
+pub struct LabelMechanism {
+    /// `weights[task][motif]` in {−1, 0, +1}.
+    pub weights: Vec<Vec<f32>>,
+    /// Classification threshold noise / regression noise std.
+    pub noise_std: f32,
+}
+
+impl LabelMechanism {
+    /// Draw a mechanism with `tasks` tasks; each task has 2–4 non-zero ±1
+    /// motif weights.
+    pub fn sample(tasks: usize, noise_std: f32, rng: &mut Rng) -> Self {
+        let mut weights = Vec::with_capacity(tasks);
+        for _ in 0..tasks {
+            let mut w = vec![0f32; NUM_MOTIFS];
+            let k = rng.range_inclusive(2, 4);
+            for &m in rng.choose_distinct(NUM_MOTIFS, k).iter() {
+                w[m] = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+            }
+            weights.push(w);
+        }
+        LabelMechanism { weights, noise_std }
+    }
+
+    /// Raw score of a task given motif counts.
+    pub fn score(&self, task: usize, counts: &[usize]) -> f32 {
+        self.weights[task]
+            .iter()
+            .zip(counts.iter())
+            .map(|(w, &c)| w * c as f32)
+            .sum()
+    }
+}
+
+/// Configuration for one molecular dataset draw.
+#[derive(Clone, Debug)]
+pub struct MolConfig {
+    /// Number of molecules.
+    pub n_graphs: usize,
+    /// Task layout.
+    pub task: TaskType,
+    /// Fraction of labels observed (OGB-style missing labels); 1.0 = full.
+    pub label_density: f32,
+    /// Scaffold↔label correlation strength on training scaffolds (0.0
+    /// disables; the motif tilt exponent).
+    pub bias: f32,
+    /// How many of the most frequent scaffolds carry the bias (these are
+    /// the ones scaffold_split places in train).
+    pub n_biased_scaffolds: usize,
+    /// Extra aliphatic chain padding atoms (0..=this) to tune graph size.
+    pub extra_chain: usize,
+    /// Motif attachments per molecule (min, max).
+    pub motifs_per_mol: (usize, usize),
+}
+
+impl Default for MolConfig {
+    fn default() -> Self {
+        MolConfig {
+            n_graphs: 1000,
+            task: TaskType::BinaryClassification { tasks: 1 },
+            label_density: 1.0,
+            bias: 1.5,
+            n_biased_scaffolds: 12,
+            extra_chain: 6,
+            motifs_per_mol: (1, 4),
+        }
+    }
+}
+
+/// Zipf-like scaffold sampling: P(s) ∝ 1/(s+1).
+fn sample_scaffold(rng: &mut Rng) -> usize {
+    let weights: Vec<f32> = (0..NUM_SCAFFOLDS).map(|s| 1.0 / (s as f32 + 1.0)).collect();
+    rng.choose_weighted(&weights)
+}
+
+/// Sample motif counts, tilted toward `dir`-signed task-0 weights when
+/// `tilt > 0` (the spurious scaffold→motif coupling).
+fn sample_motifs(
+    mech: &LabelMechanism,
+    n_motifs: usize,
+    tilt: f32,
+    dir: f32,
+    rng: &mut Rng,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; NUM_MOTIFS];
+    let probs: Vec<f32> = (0..NUM_MOTIFS)
+        .map(|m| (tilt * dir * mech.weights[0][m]).exp())
+        .collect();
+    for _ in 0..n_motifs {
+        counts[rng.choose_weighted(&probs)] += 1;
+    }
+    counts
+}
+
+/// Assemble the molecular graph for a scaffold + motif counts (+ padding).
+fn assemble(
+    scaffold_id: usize,
+    counts: &[usize],
+    extra_chain: usize,
+    label: Label,
+    rng: &mut Rng,
+) -> Graph {
+    let lib = scaffold_library();
+    let motifs = motif_library();
+    let t = &lib[scaffold_id];
+    let mut atoms = t.atoms.clone();
+    let mut edges = t.edges.clone();
+    let in_ring_until = t.atoms.len();
+    // Attach motifs at random attachment points.
+    for (m, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            let site = t.attach[rng.below(t.attach.len())];
+            let base = atoms.len();
+            for &a in &motifs[m].atoms {
+                atoms.push(a);
+            }
+            edges.push((site, base));
+            for &(u, v) in &motifs[m].edges {
+                edges.push((base + u, base + v));
+            }
+        }
+    }
+    // Chain padding off a random site.
+    let pad = if extra_chain > 0 { rng.below(extra_chain + 1) } else { 0 };
+    if pad > 0 {
+        let mut prev = t.attach[rng.below(t.attach.len())];
+        for _ in 0..pad {
+            let id = atoms.len();
+            atoms.push(atom::C);
+            edges.push((prev, id));
+            prev = id;
+        }
+    }
+    // Build features.
+    let n = atoms.len();
+    let mut deg = vec![0usize; n];
+    for &(u, v) in &edges {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    let mut feats = Tensor::zeros([n, FEATURE_DIM]);
+    for i in 0..n {
+        *feats.at_mut(i, atoms[i]) = 1.0;
+        *feats.at_mut(i, NUM_ATOM_TYPES) = if i < in_ring_until { 1.0 } else { 0.0 };
+        *feats.at_mut(i, NUM_ATOM_TYPES + 1) = deg[i] as f32 / 4.0;
+    }
+    let mut g = Graph::new(n, feats, label);
+    for &(u, v) in &edges {
+        g.add_undirected_edge(u, v);
+    }
+    g.set_scaffold(scaffold_id as u32);
+    g
+}
+
+/// Generate a molecular dataset (graphs only — pair with
+/// [`graph::split::scaffold_split`] for the OOD split, or use
+/// [`crate::ogb::generate`] which does both).
+pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMechanism) {
+    let mut rng = Rng::seed_from(seed);
+    let tasks = config.task.output_dim();
+    let mech = LabelMechanism::sample(tasks, 0.25, &mut rng);
+    let mut graphs = Vec::with_capacity(config.n_graphs);
+    for _ in 0..config.n_graphs {
+        let scaffold = sample_scaffold(&mut rng);
+        let biased = scaffold < config.n_biased_scaffolds;
+        let (tilt, dir) = if biased && config.bias > 0.0 {
+            // Scaffold group (parity) decides the tilt direction.
+            (config.bias, if scaffold.is_multiple_of(2) { 1.0 } else { -1.0 })
+        } else {
+            (0.0, 1.0)
+        };
+        let n_motifs = rng.range_inclusive(config.motifs_per_mol.0, config.motifs_per_mol.1);
+        let counts = sample_motifs(&mech, n_motifs, tilt, dir, &mut rng);
+        let label = match config.task {
+            TaskType::BinaryClassification { tasks } => {
+                let mut values = Vec::with_capacity(tasks);
+                let mut mask = Vec::with_capacity(tasks);
+                for t in 0..tasks {
+                    let s = mech.score(t, &counts) + rng.normal() * mech.noise_std;
+                    values.push(if s > 0.0 { 1.0 } else { 0.0 });
+                    mask.push(if rng.bernoulli(config.label_density) { 1.0 } else { 0.0 });
+                }
+                Label::MultiBinary { values, mask }
+            }
+            TaskType::Regression { targets } => {
+                let v = (0..targets)
+                    .map(|t| mech.score(t, &counts) + rng.normal() * mech.noise_std)
+                    .collect();
+                Label::Regression(v)
+            }
+            TaskType::MultiClass { .. } => panic!("molecules are binary/regression tasks"),
+        };
+        graphs.push(assemble(scaffold, &counts, config.extra_chain, label, &mut rng));
+    }
+    (graphs, mech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::algo::is_connected;
+
+    #[test]
+    fn scaffold_library_is_valid() {
+        let lib = scaffold_library();
+        assert_eq!(lib.len(), NUM_SCAFFOLDS);
+        for (i, t) in lib.iter().enumerate() {
+            assert!(!t.atoms.is_empty(), "scaffold {i} empty");
+            for &(u, v) in &t.edges {
+                assert!(u < t.atoms.len() && v < t.atoms.len(), "scaffold {i} bad edge");
+            }
+            for &a in &t.attach {
+                assert!(a < t.atoms.len(), "scaffold {i} bad attach point");
+            }
+        }
+    }
+
+    #[test]
+    fn motif_library_is_valid() {
+        let lib = motif_library();
+        assert_eq!(lib.len(), NUM_MOTIFS);
+        for m in &lib {
+            for &(u, v) in &m.edges {
+                assert!(u < m.atoms.len() && v < m.atoms.len());
+            }
+        }
+    }
+
+    #[test]
+    fn molecules_are_connected_and_valid() {
+        let cfg = MolConfig { n_graphs: 60, ..Default::default() };
+        let (graphs, _) = generate_molecules(&cfg, 1);
+        for g in &graphs {
+            g.validate().unwrap();
+            assert!(is_connected(g), "molecule must be connected");
+            assert!(g.scaffold().is_some());
+        }
+    }
+
+    #[test]
+    fn label_mechanism_sparse_and_signed() {
+        let mut rng = Rng::seed_from(2);
+        let mech = LabelMechanism::sample(5, 0.1, &mut rng);
+        for w in &mech.weights {
+            let nz = w.iter().filter(|&&x| x != 0.0).count();
+            assert!((2..=4).contains(&nz));
+            assert!(w.iter().all(|&x| x == 0.0 || x == 1.0 || x == -1.0));
+        }
+    }
+
+    #[test]
+    fn biased_scaffolds_correlate_with_labels() {
+        // With strong tilt, even-group scaffolds should be mostly positive
+        // on task 0 and odd-group mostly negative.
+        let cfg = MolConfig { n_graphs: 1500, bias: 2.5, ..Default::default() };
+        let (graphs, _) = generate_molecules(&cfg, 3);
+        let mut pos = [0usize; 2];
+        let mut tot = [0usize; 2];
+        for g in &graphs {
+            let s = g.scaffold().unwrap() as usize;
+            if s >= cfg.n_biased_scaffolds {
+                continue;
+            }
+            if let Label::MultiBinary { values, .. } = g.label() {
+                tot[s % 2] += 1;
+                if values[0] > 0.5 {
+                    pos[s % 2] += 1;
+                }
+            }
+        }
+        let p0 = pos[0] as f32 / tot[0].max(1) as f32;
+        let p1 = pos[1] as f32 / tot[1].max(1) as f32;
+        assert!(p0 - p1 > 0.3, "bias too weak: {p0} vs {p1}");
+    }
+
+    #[test]
+    fn unbiased_scaffolds_do_not_correlate() {
+        let cfg = MolConfig {
+            n_graphs: 4000,
+            bias: 2.5,
+            n_biased_scaffolds: 0,
+            ..Default::default()
+        };
+        let (graphs, _) = generate_molecules(&cfg, 4);
+        let mut pos = [0usize; 2];
+        let mut tot = [0usize; 2];
+        for g in &graphs {
+            let s = g.scaffold().unwrap() as usize;
+            if let Label::MultiBinary { values, .. } = g.label() {
+                tot[s % 2] += 1;
+                if values[0] > 0.5 {
+                    pos[s % 2] += 1;
+                }
+            }
+        }
+        let p0 = pos[0] as f32 / tot[0].max(1) as f32;
+        let p1 = pos[1] as f32 / tot[1].max(1) as f32;
+        assert!((p0 - p1).abs() < 0.12, "unbiased groups should match: {p0} vs {p1}");
+    }
+
+    #[test]
+    fn zipf_scaffold_distribution() {
+        let mut rng = Rng::seed_from(5);
+        let mut counts = [0usize; NUM_SCAFFOLDS];
+        for _ in 0..20_000 {
+            counts[sample_scaffold(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[19]);
+    }
+
+    #[test]
+    fn regression_labels_track_motif_scores() {
+        let cfg = MolConfig {
+            n_graphs: 100,
+            task: TaskType::Regression { targets: 1 },
+            bias: 0.0,
+            ..Default::default()
+        };
+        let (graphs, _) = generate_molecules(&cfg, 6);
+        let values: Vec<f32> = graphs
+            .iter()
+            .map(|g| match g.label() {
+                Label::Regression(v) => v[0],
+                _ => panic!(),
+            })
+            .collect();
+        let (mean, std) = crate::metrics::mean_std(&values);
+        assert!(std > 0.3, "labels must vary: mean {mean} std {std}");
+    }
+
+    #[test]
+    fn label_density_masks_labels() {
+        let cfg = MolConfig { n_graphs: 300, label_density: 0.5, ..Default::default() };
+        let (graphs, _) = generate_molecules(&cfg, 7);
+        let mut observed = 0usize;
+        let mut total = 0usize;
+        for g in &graphs {
+            if let Label::MultiBinary { mask, .. } = g.label() {
+                observed += mask.iter().filter(|&&m| m > 0.5).count();
+                total += mask.len();
+            }
+        }
+        let frac = observed as f32 / total as f32;
+        assert!((frac - 0.5).abs() < 0.08, "observed fraction {frac}");
+    }
+}

@@ -1,0 +1,518 @@
+//! COLLAB-, PROTEINS- and D&D-like generators with **size-based
+//! distribution shift** (paper §4.1.2, Table 3).
+//!
+//! The paper trains on small graphs and tests on strictly larger ones
+//! (COLLAB₃₅, PROTEINS₂₅, D&D₂₀₀, D&D₃₀₀). The failure mode it studies is
+//! models latching onto *size-correlated spurious signals* instead of the
+//! size-invariant structural class signature. Our generators plant exactly
+//! that situation:
+//!
+//! * each class has a **size-invariant structural signature** (triangle
+//!   density, community structure, degree profile) that remains
+//!   discriminative at any size — the "relevant" representation;
+//! * within the training size range, graph **size is spuriously correlated
+//!   with the label** (each class prefers a sub-band of sizes with
+//!   probability `bias`), mirroring how size and class co-vary in the real
+//!   TU training splits — the "irrelevant" representation;
+//! * test graphs are larger and their size is **independent** of the label.
+//!
+//! Node features are one-hot clamped degrees, size-invariant per node.
+
+use crate::OodBenchmark;
+use graph::algo::one_hot_degree_features;
+use graph::{Graph, GraphDataset, Label, Split, TaskType};
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+/// Which TU-like family to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocialFamily {
+    /// 3-class collaboration ego-networks (COLLAB-like).
+    Collab,
+    /// 2-class protein graphs (PROTEINS-like).
+    Proteins,
+    /// 2-class large protein graphs (D&D-like).
+    Dd,
+}
+
+impl SocialFamily {
+    /// Number of classes of this family.
+    pub fn num_classes(self) -> usize {
+        match self {
+            SocialFamily::Collab => 3,
+            SocialFamily::Proteins | SocialFamily::Dd => 2,
+        }
+    }
+}
+
+/// Configuration of a size-shift benchmark instance.
+#[derive(Clone, Debug)]
+pub struct SocialConfig {
+    /// Family to generate.
+    pub family: SocialFamily,
+    /// Benchmark display name (e.g. `"COLLAB-35"`).
+    pub name: String,
+    /// Training graphs.
+    pub n_train: usize,
+    /// Validation graphs (train-range sizes).
+    pub n_val: usize,
+    /// Test graphs (test-range sizes).
+    pub n_test: usize,
+    /// Inclusive node-count range for train/val graphs.
+    pub train_sizes: (usize, usize),
+    /// Inclusive node-count range for test graphs.
+    pub test_sizes: (usize, usize),
+    /// Probability that a training graph's size falls inside its class's
+    /// preferred size sub-band (the spurious correlation strength).
+    pub bias: f32,
+    /// Degree clamp for one-hot features.
+    pub max_degree: usize,
+}
+
+impl SocialConfig {
+    /// COLLAB₃₅: train 500 on 32–35 nodes, test 4500 on larger graphs.
+    /// `frac` scales graph counts and the maximum test size for quick runs.
+    pub fn collab35(frac: f32) -> Self {
+        let s = |n: usize| ((n as f32 * frac).round() as usize).max(24);
+        SocialConfig {
+            family: SocialFamily::Collab,
+            name: "COLLAB-35".into(),
+            n_train: s(500),
+            n_val: s(100),
+            n_test: s(4500),
+            train_sizes: (32, 35),
+            test_sizes: (36, scale_max(492, frac)),
+            bias: 0.85,
+            max_degree: 10,
+        }
+    }
+
+    /// PROTEINS₂₅: train 500 on 4–25 nodes, test 613 on 26+ nodes.
+    pub fn proteins25(frac: f32) -> Self {
+        let s = |n: usize| ((n as f32 * frac).round() as usize).max(24);
+        SocialConfig {
+            family: SocialFamily::Proteins,
+            name: "PROTEINS-25".into(),
+            n_train: s(500),
+            n_val: s(60),
+            n_test: s(613),
+            train_sizes: (6, 25),
+            test_sizes: (26, scale_max(620, frac)),
+            bias: 0.85,
+            max_degree: 8,
+        }
+    }
+
+    /// D&D₂₀₀: train 462 on 30–200 nodes, test 716 on 201+ nodes.
+    pub fn dd200(frac: f32) -> Self {
+        let s = |n: usize| ((n as f32 * frac).round() as usize).max(24);
+        SocialConfig {
+            family: SocialFamily::Dd,
+            name: "D&D-200".into(),
+            n_train: s(462),
+            n_val: s(50),
+            n_test: s(716),
+            train_sizes: (30, 200),
+            test_sizes: (201, scale_max(1200, frac)),
+            bias: 0.85,
+            max_degree: 10,
+        }
+    }
+
+    /// D&D₃₀₀: train 500 on 30–300 nodes, test on graphs of all sizes
+    /// (30 up to the maximum), as in the paper's D&D₃₀₀ protocol.
+    pub fn dd300(frac: f32) -> Self {
+        let s = |n: usize| ((n as f32 * frac).round() as usize).max(24);
+        SocialConfig {
+            family: SocialFamily::Dd,
+            name: "D&D-300".into(),
+            n_train: s(500),
+            n_val: s(50),
+            n_test: s(678),
+            train_sizes: (30, 300),
+            test_sizes: (30, scale_max(1400, frac)),
+            bias: 0.85,
+            max_degree: 10,
+        }
+    }
+}
+
+/// Scale a maximum test size with `frac`, keeping it meaningfully larger
+/// than typical training sizes.
+fn scale_max(max: usize, frac: f32) -> usize {
+    ((max as f32 * frac.max(0.2)) as usize).max(64).min(max)
+}
+
+// ---------------------------------------------------------------- builders
+//
+// Every class signature is a *noisy, size-invariant structural density*:
+// the class sets the mean of a latent density parameter with overlapping
+// class-conditional distributions, so the invariant signal carries
+// irreducible error — while graph size predicts the label almost perfectly
+// inside the training range. That asymmetry (noisy invariant cue vs. clean
+// spurious cue) is what makes ERM baselines latch onto size and collapse on
+// larger test graphs, the failure mode of the paper's Table 3.
+
+/// Clamped Gaussian latent for a class-conditional density parameter.
+fn class_density(mean: f32, std: f32, rng: &mut Rng) -> f32 {
+    (mean + std * rng.normal()).clamp(0.02, 0.98)
+}
+
+/// Collaboration ego-net: each arriving node closes a triangle over an
+/// existing edge with probability `theta` (clustered collaboration), else
+/// attaches to two random earlier nodes (open collaboration). `theta` is
+/// the class's latent clustering level.
+fn build_collab(n: usize, theta: f32, rng: &mut Rng) -> Graph {
+    let mut g = Graph::new(n, Tensor::zeros([n, 1]), Label::Class(0));
+    if n >= 2 {
+        g.add_undirected_edge(0, 1);
+    }
+    for v in 2..n {
+        if rng.bernoulli(theta) {
+            let e = g.edges()[rng.below(g.edges().len())];
+            let (a, b) = (e.0 as usize, e.1 as usize);
+            if a != v {
+                g.add_undirected_edge(v, a);
+            }
+            if b != a && b != v {
+                g.add_undirected_edge(v, b);
+            }
+        } else {
+            let a = rng.below(v);
+            g.add_undirected_edge(v, a);
+            let b = rng.below(v);
+            if b != a {
+                g.add_undirected_edge(v, b);
+            }
+        }
+    }
+    g
+}
+
+/// Protein contact chain: a backbone path where each residue becomes a
+/// "contact hub" with probability `p` (gaining an extra short-range
+/// contact). The class signal is the *density of hub residues* — visible
+/// to 1-WL message passing through the degree histogram and size-invariant
+/// under mean pooling.
+fn build_protein_chain(n: usize, p: f32, rng: &mut Rng) -> Graph {
+    let mut g = Graph::new(n, Tensor::zeros([n, 1]), Label::Class(0));
+    for i in 1..n {
+        g.add_undirected_edge(i - 1, i);
+    }
+    for i in 0..n {
+        if rng.bernoulli(p) {
+            // Contact to a residue 2–5 positions away along the chain.
+            let d = rng.range_inclusive(2, 5);
+            let j = if i + d < n { i + d } else { i.saturating_sub(d) };
+            if j != i && !g.has_edge(i, j) {
+                g.add_undirected_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// Amino-acid contact lattice: a 2-D grid where each cell's diagonal
+/// contact exists with probability `q` (globular folding density).
+fn build_dd_lattice(n: usize, q: f32, rng: &mut Rng) -> Graph {
+    let w = (n as f32).sqrt().ceil() as usize;
+    let mut g = Graph::new(n, Tensor::zeros([n, 1]), Label::Class(0));
+    let id = |r: usize, c: usize| r * w + c;
+    for r in 0..n.div_ceil(w) {
+        for c in 0..w {
+            let v = id(r, c);
+            if v >= n {
+                continue;
+            }
+            if c + 1 < w && id(r, c + 1) < n {
+                g.add_undirected_edge(v, id(r, c + 1));
+            }
+            if id(r + 1, c) < n {
+                g.add_undirected_edge(v, id(r + 1, c));
+            }
+            if c + 1 < w && id(r + 1, c + 1) < n && rng.bernoulli(q) {
+                g.add_undirected_edge(v, id(r + 1, c + 1)); // diagonal contact
+            }
+        }
+    }
+    g
+}
+
+/// Build one structural graph of the given family and class. The class
+/// sets the mean of the latent density; the overlap between class means
+/// (±1σ bands touch) makes the structural signal noisy by design.
+fn build_structure(family: SocialFamily, class: usize, n: usize, rng: &mut Rng) -> Graph {
+    match family {
+        SocialFamily::Collab => {
+            let theta = class_density(0.15 + 0.30 * class as f32, 0.10, rng);
+            build_collab(n, theta, rng)
+        }
+        SocialFamily::Proteins => {
+            let p = class_density(0.15 + 0.30 * class as f32, 0.10, rng);
+            build_protein_chain(n, p, rng)
+        }
+        SocialFamily::Dd => {
+            let q = class_density(0.35 + 0.30 * class as f32, 0.18, rng);
+            build_dd_lattice(n, q, rng)
+        }
+    }
+}
+
+/// Sample a training-range size with the class-conditional spurious bias:
+/// with probability `bias` the size comes from the class's sub-band of the
+/// training range, otherwise uniformly from the whole range.
+fn biased_train_size(
+    class: usize,
+    num_classes: usize,
+    range: (usize, usize),
+    bias: f32,
+    rng: &mut Rng,
+) -> usize {
+    let (lo, hi) = range;
+    if rng.bernoulli(bias) {
+        let span = hi - lo + 1;
+        let band = (span / num_classes).max(1);
+        let b_lo = lo + class * band;
+        let b_hi = if class + 1 == num_classes { hi } else { (b_lo + band - 1).min(hi) };
+        rng.range_inclusive(b_lo.min(hi), b_hi)
+    } else {
+        rng.range_inclusive(lo, hi)
+    }
+}
+
+/// Append a graph-size channel `ln(n)/ln(1000)` to every node's features.
+/// Real TU node features leak graph size through degree statistics and ego
+/// degrees; exposing it as an explicit channel makes the spurious size cue
+/// available to the encoder under any readout — which is precisely the
+/// temptation the size-shift benchmark studies.
+fn with_size_channel(feats: Tensor, n: usize) -> Tensor {
+    let (rows, cols) = feats.shape().as_matrix();
+    let size_val = (n as f32).ln() / 1000f32.ln();
+    let mut out = Tensor::zeros([rows, cols + 1]);
+    for i in 0..rows {
+        for j in 0..cols {
+            *out.at_mut(i, j) = feats.at(i, j);
+        }
+        *out.at_mut(i, cols) = size_val;
+    }
+    out
+}
+
+/// Log-uniform size in `[lo, hi]` (test graphs span a wide size range).
+fn log_uniform_size(lo: usize, hi: usize, rng: &mut Rng) -> usize {
+    if lo >= hi {
+        return lo;
+    }
+    let (l, h) = ((lo as f32).ln(), (hi as f32).ln());
+    (rng.uniform(l, h).exp().round() as usize).clamp(lo, hi)
+}
+
+/// Generate a size-shift benchmark for the given configuration.
+pub fn generate(config: &SocialConfig, seed: u64) -> OodBenchmark {
+    let mut rng = Rng::seed_from(seed);
+    let classes = config.family.num_classes();
+    let total = config.n_train + config.n_val + config.n_test;
+    let mut graphs = Vec::with_capacity(total);
+    let mut split = Split::default();
+    for i in 0..total {
+        let class = rng.below(classes);
+        let is_test = i >= config.n_train + config.n_val;
+        let n = if is_test {
+            log_uniform_size(config.test_sizes.0, config.test_sizes.1, &mut rng)
+        } else {
+            biased_train_size(class, classes, config.train_sizes, config.bias, &mut rng)
+        };
+        let structure = build_structure(config.family, class, n, &mut rng);
+        let feats = with_size_channel(one_hot_degree_features(&structure, config.max_degree), n);
+        let mut g = Graph::new(n, feats, Label::Class(class));
+        for &(s, d) in structure.edges() {
+            g.add_directed_edge(s as usize, d as usize);
+        }
+        if is_test {
+            split.test.push(i);
+        } else if i >= config.n_train {
+            split.val.push(i);
+        } else {
+            split.train.push(i);
+        }
+        graphs.push(g);
+    }
+    let dataset =
+        GraphDataset::new(config.name.clone(), graphs, TaskType::MultiClass { classes });
+    OodBenchmark { dataset, split }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::algo::{is_connected, triangle_count};
+
+    /// Mean triangles-per-node over repeated draws of a builder.
+    fn mean_triangle_rate(build: impl Fn(&mut Rng) -> Graph, rng: &mut Rng, reps: usize) -> f32 {
+        let mut acc = 0f32;
+        for _ in 0..reps {
+            let g = build(rng);
+            acc += triangle_count(&g) as f32 / g.num_nodes() as f32;
+        }
+        acc / reps as f32
+    }
+
+    #[test]
+    fn proteins_classes_differ_in_expected_triangle_rate() {
+        let mut rng = Rng::seed_from(1);
+        let n = 40;
+        let c0 = mean_triangle_rate(|r| build_structure(SocialFamily::Proteins, 0, n, r), &mut rng, 30);
+        let c1 = mean_triangle_rate(|r| build_structure(SocialFamily::Proteins, 1, n, r), &mut rng, 30);
+        assert!(c1 > 1.5 * c0, "class 1 should be triangle-richer: {c0} vs {c1}");
+    }
+
+    #[test]
+    fn proteins_signal_is_noisy_by_design() {
+        // Individual draws of the two classes must overlap — the invariant
+        // signal is intentionally imperfect.
+        let mut rng = Rng::seed_from(2);
+        let n = 40;
+        let draws = |class: usize, rng: &mut Rng| -> Vec<f32> {
+            (0..40)
+                .map(|_| {
+                    let g = build_structure(SocialFamily::Proteins, class, n, rng);
+                    triangle_count(&g) as f32 / g.num_nodes() as f32
+                })
+                .collect()
+        };
+        let c0 = draws(0, &mut rng);
+        let c1 = draws(1, &mut rng);
+        let max0 = c0.iter().copied().fold(f32::MIN, f32::max);
+        let min1 = c1.iter().copied().fold(f32::MAX, f32::min);
+        assert!(min1 < max0, "class densities should overlap ({min1} vs {max0})");
+    }
+
+    #[test]
+    fn collab_classes_differ_in_clustering() {
+        let mut rng = Rng::seed_from(3);
+        let n = 60;
+        let low = mean_triangle_rate(|r| build_structure(SocialFamily::Collab, 0, n, r), &mut rng, 20);
+        let high = mean_triangle_rate(|r| build_structure(SocialFamily::Collab, 2, n, r), &mut rng, 20);
+        assert!(high > 1.5 * low, "{low} vs {high}");
+    }
+
+    #[test]
+    fn dd_classes_differ_in_diagonal_density() {
+        let mut rng = Rng::seed_from(4);
+        let n = 100;
+        let low = mean_triangle_rate(|r| build_structure(SocialFamily::Dd, 0, n, r), &mut rng, 10);
+        let high = mean_triangle_rate(|r| build_structure(SocialFamily::Dd, 1, n, r), &mut rng, 10);
+        assert!(high > 1.3 * low, "{low} vs {high}");
+    }
+
+    #[test]
+    fn builders_produce_connected_graphs() {
+        let mut rng = Rng::seed_from(5);
+        for n in [10usize, 33, 80] {
+            assert!(is_connected(&build_collab(n, 0.4, &mut rng)));
+            assert!(is_connected(&build_protein_chain(n, 0.5, &mut rng)));
+            assert!(is_connected(&build_dd_lattice(n, 0.5, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn protein_hub_density_is_size_invariant() {
+        // The class signal is the *fraction* of hub residues: it must not
+        // drift as graphs grow, so it survives the size shift.
+        let mut rng = Rng::seed_from(6);
+        let hub_fraction = |n: usize, p: f32, rng: &mut Rng| -> f32 {
+            let mut acc = 0f32;
+            let reps = 20;
+            for _ in 0..reps {
+                let g = build_protein_chain(n, p, rng);
+                let hubs = graph::algo::undirected_degrees(&g)
+                    .iter()
+                    .filter(|&&d| d >= 3)
+                    .count();
+                acc += hubs as f32 / n as f32;
+            }
+            acc / reps as f32
+        };
+        let small = hub_fraction(20, 0.4, &mut rng);
+        let large = hub_fraction(200, 0.4, &mut rng);
+        assert!((small - large).abs() < 0.12, "hub fraction drifts: {small} vs {large}");
+        // And the class parameter moves it.
+        let lo = hub_fraction(60, 0.15, &mut rng);
+        let hi = hub_fraction(60, 0.45, &mut rng);
+        assert!(hi > lo + 0.1, "class signal too weak: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn size_channel_encodes_graph_size() {
+        let bench = generate(&SocialConfig::proteins25(0.05), 8);
+        let dim = bench.dataset.feature_dim();
+        for &i in bench.split.train.iter().take(5) {
+            let g = bench.dataset.graph(i);
+            let expect = (g.num_nodes() as f32).ln() / 1000f32.ln();
+            for r in 0..g.num_nodes() {
+                assert!((g.features().at(r, dim - 1) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn size_split_holds() {
+        let cfg = SocialConfig::proteins25(0.08);
+        let bench = generate(&cfg, 4);
+        bench.validate().unwrap();
+        for &i in &bench.split.train {
+            assert!(bench.dataset.graph(i).num_nodes() <= cfg.train_sizes.1);
+        }
+        for &i in &bench.split.test {
+            assert!(bench.dataset.graph(i).num_nodes() >= cfg.test_sizes.0);
+        }
+    }
+
+    #[test]
+    fn train_sizes_correlate_with_class_but_test_sizes_do_not() {
+        let cfg = SocialConfig::collab35(0.5);
+        let bench = generate(&cfg, 5);
+        // In train, class 0 should have smaller average size than class 2.
+        let avg_size = |ids: &[usize], class: usize| -> f32 {
+            let sel: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&i| bench.dataset.graph(i).label().class() == class)
+                .collect();
+            let total: usize = sel.iter().map(|&i| bench.dataset.graph(i).num_nodes()).sum();
+            total as f32 / sel.len().max(1) as f32
+        };
+        let d_train = avg_size(&bench.split.train, 2) - avg_size(&bench.split.train, 0);
+        assert!(d_train > 1.0, "train size/class correlation too weak: {d_train}");
+    }
+
+    #[test]
+    fn dd_configs_have_disjoint_or_overlapping_ranges_as_specified() {
+        let d200 = SocialConfig::dd200(0.1);
+        assert!(d200.test_sizes.0 > d200.train_sizes.1);
+        let d300 = SocialConfig::dd300(0.1);
+        assert!(d300.test_sizes.0 <= d300.train_sizes.1, "D&D-300 tests on all sizes");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SocialConfig::proteins25(0.05);
+        let a = generate(&cfg, 9);
+        let b = generate(&cfg, 9);
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        for (ga, gb) in a.dataset.graphs().iter().zip(b.dataset.graphs()) {
+            assert_eq!(ga.edges(), gb.edges());
+            assert_eq!(ga.label(), gb.label());
+        }
+    }
+
+    #[test]
+    fn lattice_builder_valid_at_nonsquare_sizes() {
+        let mut rng = Rng::seed_from(10);
+        for n in [7usize, 30, 50, 101] {
+            let g = build_dd_lattice(n, 0.7, &mut rng);
+            assert!(g.validate().is_ok());
+            assert!(g.num_edges() + 1 >= n);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Dataset statistics reporting (the paper's Table 1).
+
+use crate::OodBenchmark;
+use graph::TaskType;
+
+/// One row of the Table 1 statistics.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Average node count.
+    pub avg_nodes: f32,
+    /// Average (undirected) edge count.
+    pub avg_edges: f32,
+    /// Output dimensionality.
+    pub num_tasks: usize,
+    /// Task type label as in the paper's table.
+    pub task_type: &'static str,
+    /// Split method label.
+    pub split_method: &'static str,
+    /// Metric label.
+    pub metric: &'static str,
+    /// Train/val/test sizes.
+    pub split_sizes: (usize, usize, usize),
+}
+
+/// Compute statistics for a benchmark instance.
+pub fn compute(bench: &OodBenchmark, split_method: &'static str) -> DatasetStats {
+    let (num_graphs, avg_nodes, avg_edges) = bench.dataset.stats();
+    let task = bench.dataset.task();
+    let (task_type, metric) = match task {
+        TaskType::MultiClass { classes } => {
+            if classes == 2 {
+                ("Binary class.", "Accuracy")
+            } else {
+                ("Multi-class.", "Accuracy")
+            }
+        }
+        TaskType::BinaryClassification { .. } => ("Binary class.", "ROC-AUC"),
+        TaskType::Regression { .. } => ("Regression", "RMSE"),
+    };
+    DatasetStats {
+        name: bench.dataset.name().to_string(),
+        num_graphs,
+        avg_nodes,
+        avg_edges,
+        num_tasks: task.output_dim(),
+        task_type,
+        split_method,
+        metric,
+        split_sizes: (
+            bench.split.train.len(),
+            bench.split.val.len(),
+            bench.split.test.len(),
+        ),
+    }
+}
+
+/// Render rows as a markdown table matching Table 1's columns.
+pub fn to_markdown(rows: &[DatasetStats]) -> String {
+    let mut out = String::from(
+        "| Name | #Graphs | Avg #Nodes | Avg #Edges | #Tasks | Task Type | Split | Metric | Train/Val/Test |\n|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {} | {} | {} | {} | {}/{}/{} |\n",
+            r.name,
+            r.num_graphs,
+            r.avg_nodes,
+            r.avg_edges,
+            r.num_tasks,
+            r.task_type,
+            r.split_method,
+            r.metric,
+            r.split_sizes.0,
+            r.split_sizes.1,
+            r.split_sizes.2,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::{generate, TrianglesConfig};
+
+    #[test]
+    fn stats_for_triangles() {
+        let bench = generate(&TrianglesConfig::scaled(0.01), 1);
+        let s = compute(&bench, "Size");
+        assert_eq!(s.name, "TRIANGLES");
+        assert_eq!(s.metric, "Accuracy");
+        assert_eq!(s.task_type, "Multi-class.");
+        assert_eq!(s.split_method, "Size");
+        assert!(s.avg_nodes > 4.0);
+        assert_eq!(s.num_graphs, s.split_sizes.0 + s.split_sizes.1 + s.split_sizes.2);
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let bench = generate(&TrianglesConfig::scaled(0.01), 1);
+        let rows = vec![compute(&bench, "Size")];
+        let md = to_markdown(&rows);
+        assert!(md.contains("TRIANGLES"));
+        assert_eq!(md.lines().count(), 3);
+    }
+}

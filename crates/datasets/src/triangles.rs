@@ -1,0 +1,175 @@
+//! The TRIANGLES dataset: predict the number of triangles (1–10) in random
+//! graphs, training on small graphs (4–25 nodes) and testing on strictly
+//! larger ones (up to 100 nodes) — the paper's size-shift synthetic
+//! benchmark (§4.1.2, Table 2).
+//!
+//! Graphs are Erdős–Rényi with edge probability `~3/n` (keeping the
+//! expected triangle count in range), rejection-sampled until the exact
+//! triangle count lies in `[1, 10]`. Node features are one-hot degrees
+//! clamped at a fixed maximum so train and test share a schema, exactly as
+//! in the paper ("node features are set as one-hot degrees").
+
+use crate::OodBenchmark;
+use graph::algo::{one_hot_degree_features, triangle_count};
+use graph::{Graph, GraphDataset, Label, Split, TaskType};
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+/// Configuration for the TRIANGLES generator.
+#[derive(Clone, Debug)]
+pub struct TrianglesConfig {
+    /// Number of training graphs (paper: 3000).
+    pub n_train: usize,
+    /// Number of validation graphs (paper: 500).
+    pub n_val: usize,
+    /// Number of OOD test graphs (paper: 500).
+    pub n_test: usize,
+    /// Training/validation graph size range (paper: 4–25).
+    pub train_nodes: (usize, usize),
+    /// Test graph size range (paper: 26–100; the paper says "4 to 100"
+    /// overall with test graphs larger than training).
+    pub test_nodes: (usize, usize),
+    /// Degree clamp for one-hot features.
+    pub max_degree: usize,
+}
+
+impl Default for TrianglesConfig {
+    fn default() -> Self {
+        TrianglesConfig {
+            n_train: 3000,
+            n_val: 500,
+            n_test: 500,
+            train_nodes: (4, 25),
+            test_nodes: (26, 100),
+            max_degree: 15,
+        }
+    }
+}
+
+impl TrianglesConfig {
+    /// A proportionally smaller instance for fast experiments; `frac = 1.0`
+    /// reproduces the paper-scale dataset.
+    pub fn scaled(frac: f32) -> Self {
+        let d = Self::default();
+        let s = |n: usize| ((n as f32 * frac).round() as usize).max(16);
+        TrianglesConfig { n_train: s(d.n_train), n_val: s(d.n_val), n_test: s(d.n_test), ..d }
+    }
+}
+
+/// Number of triangle classes (1..=10 triangles → 10 classes).
+pub const NUM_CLASSES: usize = 10;
+
+/// Sample one graph with `n` nodes whose triangle count is in `[1, 10]`.
+/// Returns the graph (label = count − 1).
+fn sample_graph(n: usize, max_degree: usize, rng: &mut Rng) -> Graph {
+    loop {
+        let p = (3.0 / n as f32).min(0.9);
+        let mut g = Graph::new(n, Tensor::zeros([n, 1]), Label::Class(0));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.bernoulli(p) {
+                    g.add_undirected_edge(i, j);
+                }
+            }
+        }
+        let t = triangle_count(&g);
+        if (1..=10).contains(&t) {
+            let feats = one_hot_degree_features(&g, max_degree);
+            let mut g2 = Graph::new(n, feats, Label::Class(t - 1));
+            for &(s, d) in g.edges() {
+                g2.add_directed_edge(s as usize, d as usize);
+            }
+            return g2;
+        }
+    }
+}
+
+/// Generate the TRIANGLES benchmark (dataset + size-based split).
+pub fn generate(config: &TrianglesConfig, seed: u64) -> OodBenchmark {
+    let mut rng = Rng::seed_from(seed);
+    let mut graphs = Vec::with_capacity(config.n_train + config.n_val + config.n_test);
+    let mut split = Split::default();
+    for i in 0..config.n_train + config.n_val {
+        let n = rng.range_inclusive(config.train_nodes.0, config.train_nodes.1);
+        graphs.push(sample_graph(n, config.max_degree, &mut rng));
+        if i < config.n_train {
+            split.train.push(i);
+        } else {
+            split.val.push(i);
+        }
+    }
+    for i in 0..config.n_test {
+        let n = rng.range_inclusive(config.test_nodes.0, config.test_nodes.1);
+        graphs.push(sample_graph(n, config.max_degree, &mut rng));
+        split.test.push(config.n_train + config.n_val + i);
+    }
+    let dataset = GraphDataset::new(
+        "TRIANGLES",
+        graphs,
+        TaskType::MultiClass { classes: NUM_CLASSES },
+    );
+    OodBenchmark { dataset, split }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_actual_triangle_counts() {
+        let bench = generate(&TrianglesConfig::scaled(0.02), 7);
+        for g in bench.dataset.graphs() {
+            let t = triangle_count(g);
+            assert_eq!(g.label().class(), t - 1, "label must be triangles-1");
+            assert!((1..=10).contains(&t));
+        }
+    }
+
+    #[test]
+    fn split_respects_size_shift() {
+        let cfg = TrianglesConfig::scaled(0.02);
+        let bench = generate(&cfg, 3);
+        bench.validate().unwrap();
+        for &i in &bench.split.train {
+            let n = bench.dataset.graph(i).num_nodes();
+            assert!(n >= cfg.train_nodes.0 && n <= cfg.train_nodes.1);
+        }
+        for &i in &bench.split.test {
+            let n = bench.dataset.graph(i).num_nodes();
+            assert!(n >= cfg.test_nodes.0 && n <= cfg.test_nodes.1);
+            assert!(n > cfg.train_nodes.1, "test graphs must be larger than training");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TrianglesConfig::scaled(0.01);
+        let a = generate(&cfg, 5);
+        let b = generate(&cfg, 5);
+        for (ga, gb) in a.dataset.graphs().iter().zip(b.dataset.graphs()) {
+            assert_eq!(ga.num_nodes(), gb.num_nodes());
+            assert_eq!(ga.edges(), gb.edges());
+            assert_eq!(ga.label(), gb.label());
+        }
+    }
+
+    #[test]
+    fn feature_schema_shared_across_sizes() {
+        let bench = generate(&TrianglesConfig::scaled(0.01), 11);
+        let dim = bench.dataset.feature_dim();
+        assert_eq!(dim, 16); // max_degree 15 + 1
+        for g in bench.dataset.graphs() {
+            assert_eq!(g.feature_dim(), dim);
+        }
+    }
+
+    #[test]
+    fn class_distribution_covers_several_classes() {
+        let bench = generate(&TrianglesConfig::scaled(0.05), 13);
+        let mut seen = [false; NUM_CLASSES];
+        for g in bench.dataset.graphs() {
+            seen[g.label().class()] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 5, "want varied labels: {seen:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the dataset generators and metrics.
+
+use ood_datasets::metrics::{accuracy, rmse, roc_auc_binary};
+use ood_datasets::molgen::{generate_molecules, MolConfig};
+use ood_datasets::social::{generate as gen_social, SocialConfig};
+use ood_datasets::triangles::{generate as gen_triangles, TrianglesConfig};
+use graph::algo::{is_connected, triangle_count};
+use graph::TaskType;
+use proptest::prelude::*;
+use tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn triangles_labels_always_match_structure(seed in 0u64..200) {
+        let bench = gen_triangles(&TrianglesConfig::scaled(0.005), seed);
+        for g in bench.dataset.graphs() {
+            prop_assert_eq!(g.label().class() + 1, triangle_count(g));
+        }
+        prop_assert!(bench.validate().is_ok());
+    }
+
+    #[test]
+    fn molecules_always_connected_and_scaffolded(seed in 0u64..200) {
+        let cfg = MolConfig { n_graphs: 30, ..Default::default() };
+        let (graphs, _) = generate_molecules(&cfg, seed);
+        for g in &graphs {
+            prop_assert!(g.validate().is_ok());
+            prop_assert!(is_connected(g));
+            prop_assert!(g.scaffold().is_some());
+            prop_assert!(g.num_nodes() >= 4);
+        }
+    }
+
+    #[test]
+    fn social_benchmarks_always_valid(seed in 0u64..100, which in 0usize..4) {
+        let cfg = match which {
+            0 => SocialConfig::collab35(0.03),
+            1 => SocialConfig::proteins25(0.03),
+            2 => SocialConfig::dd200(0.03),
+            _ => SocialConfig::dd300(0.03),
+        };
+        let bench = gen_social(&cfg, seed);
+        prop_assert!(bench.validate().is_ok());
+        let classes = match bench.dataset.task() {
+            TaskType::MultiClass { classes } => classes,
+            _ => unreachable!(),
+        };
+        for g in bench.dataset.graphs() {
+            prop_assert!(g.label().class() < classes);
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        scores in proptest::collection::vec(-3.0f32..3.0, 6..20),
+        flips in proptest::collection::vec(proptest::bool::ANY, 6..20),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels: Vec<f32> = flips[..n].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let a1 = roc_auc_binary(scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| (2.0 * s).tanh() * 5.0 + 1.0).collect();
+        let a2 = roc_auc_binary(&transformed, &labels);
+        match (a1, a2) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}"),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auc_flipping_scores_complements(
+        scores in proptest::collection::vec(-3.0f32..3.0, 6..20),
+    ) {
+        // Half positives half negatives by rank parity to guarantee both classes.
+        let labels: Vec<f32> = (0..scores.len()).map(|i| (i % 2) as f32).collect();
+        let a = roc_auc_binary(&scores, &labels).unwrap();
+        let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let b = roc_auc_binary(&neg, &labels).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn accuracy_bounds(preds in proptest::collection::vec(-1.0f32..1.0, 12)) {
+        let logits = Tensor::from_vec(preds, [4, 3]);
+        let targets = vec![0usize, 1, 2, 0];
+        let a = accuracy(&logits, &targets);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn rmse_triangle_inequality_with_zero(
+        p in proptest::collection::vec(-2.0f32..2.0, 8),
+        t in proptest::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let pt = Tensor::from_vec(p, [8, 1]);
+        let tt = Tensor::from_vec(t, [8, 1]);
+        let zero = Tensor::zeros([8, 1]);
+        let d = rmse(&pt, &tt);
+        prop_assert!(d >= 0.0);
+        // rmse(p,t) ≤ rmse(p,0) + rmse(0,t)  (norm triangle inequality)
+        prop_assert!(d <= rmse(&pt, &zero) + rmse(&zero, &tt) + 1e-4);
+    }
+}

@@ -1,0 +1,39 @@
+//! Message-passing convolution layers.
+
+mod factor;
+mod gat;
+mod gcn;
+mod gin;
+mod pna;
+mod sage;
+mod virtual_node;
+
+pub use factor::FactorConv;
+pub use gat::GatConv;
+pub use gcn::GcnConv;
+pub use gin::GinConv;
+pub use pna::PnaConv;
+pub use sage::SageConv;
+pub use virtual_node::VirtualNode;
+
+use graph::GraphBatch;
+use tensor::nn::Module;
+use tensor::rng::Rng;
+use tensor::{Mode, NodeId, Tape};
+
+/// A message-passing layer mapping node features `[N, in]` to `[N, out]`
+/// over a batched graph.
+pub trait Conv: Module {
+    /// One round of message passing.
+    fn forward(
+        &mut self,
+        tape: &mut Tape,
+        x: NodeId,
+        batch: &GraphBatch,
+        mode: Mode,
+        rng: &mut Rng,
+    ) -> NodeId;
+
+    /// Output feature dimension.
+    fn out_dim(&self) -> usize;
+}

@@ -1,0 +1,89 @@
+//! Graph-level pooling: global readouts and hierarchical top-k pooling
+//! (TopKPool, SAGPool).
+
+mod sag;
+mod topk;
+
+pub use sag::SagPool;
+pub use topk::{topk_filter, TopKPool};
+
+use graph::GraphBatch;
+use std::rc::Rc;
+use tensor::{NodeId, Tape};
+
+/// Global readout turning node features `[N, d]` into graph features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readout {
+    /// Sum pooling (GIN-style; size-sensitive).
+    Sum,
+    /// Mean pooling (size-invariant).
+    Mean,
+    /// Max pooling.
+    Max,
+    /// Concatenated mean and max (`2d` output), used by hierarchical
+    /// models' per-level readout.
+    MeanMax,
+}
+
+impl Readout {
+    /// Output width multiplier relative to the node feature width.
+    pub fn multiplier(self) -> usize {
+        match self {
+            Readout::MeanMax => 2,
+            _ => 1,
+        }
+    }
+
+    /// Apply the readout over a node→graph assignment.
+    pub fn apply(
+        self,
+        tape: &mut Tape,
+        x: NodeId,
+        batch_vec: Rc<Vec<usize>>,
+        num_graphs: usize,
+    ) -> NodeId {
+        match self {
+            Readout::Sum => tape.segment_sum(x, batch_vec, num_graphs),
+            Readout::Mean => tape.segment_mean(x, batch_vec, num_graphs),
+            Readout::Max => tape.segment_max(x, batch_vec, num_graphs),
+            Readout::MeanMax => {
+                let mean = tape.segment_mean(x, batch_vec.clone(), num_graphs);
+                let max = tape.segment_max(x, batch_vec, num_graphs);
+                tape.concat_cols(&[mean, max])
+            }
+        }
+    }
+
+    /// Convenience: apply over a [`GraphBatch`]'s assignment.
+    pub fn apply_batch(self, tape: &mut Tape, x: NodeId, batch: &GraphBatch) -> NodeId {
+        self.apply(tape, x, batch.batch.clone(), batch.num_graphs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    #[test]
+    fn readouts_match_hand_computation() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3., 4., 10., 20.], [3, 2]));
+        let seg = Rc::new(vec![0usize, 0, 1]);
+        let sum = Readout::Sum.apply(&mut tape, x, seg.clone(), 2);
+        assert_eq!(tape.value(sum).data(), &[4., 6., 10., 20.]);
+        let mean = Readout::Mean.apply(&mut tape, x, seg.clone(), 2);
+        assert_eq!(tape.value(mean).data(), &[2., 3., 10., 20.]);
+        let max = Readout::Max.apply(&mut tape, x, seg.clone(), 2);
+        assert_eq!(tape.value(max).data(), &[3., 4., 10., 20.]);
+        let mm = Readout::MeanMax.apply(&mut tape, x, seg, 2);
+        assert_eq!(tape.shape(mm).dims(), &[2, 4]);
+        assert_eq!(tape.value(mm).row(0), &[2., 3., 3., 4.]);
+    }
+
+    #[test]
+    fn multipliers() {
+        assert_eq!(Readout::Sum.multiplier(), 1);
+        assert_eq!(Readout::MeanMax.multiplier(), 2);
+    }
+}

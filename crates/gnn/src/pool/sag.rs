@@ -1,0 +1,99 @@
+//! Self-attention graph pooling (Lee et al., SAGPool): like TopK pooling
+//! but the node scores come from a graph convolution over the node
+//! features, so attention is structure-aware.
+
+use super::topk::topk_filter;
+use crate::layers::{Conv, GcnConv};
+use graph::GraphBatch;
+use std::rc::Rc;
+use tensor::nn::{Module, Param};
+use tensor::rng::Rng;
+use tensor::{Mode, NodeId, Tape};
+
+/// SAGPool layer: scores = GCN(x) → `[N, 1]`, keep top-`ratio` per graph,
+/// gate survivors with `tanh(score)`.
+pub struct SagPool {
+    score_gnn: GcnConv,
+    ratio: f32,
+}
+
+impl SagPool {
+    /// SAGPool over `dim` features keeping `ratio` of nodes.
+    pub fn new(dim: usize, ratio: f32, rng: &mut Rng) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0);
+        SagPool { score_gnn: GcnConv::plain(dim, 1, rng), ratio }
+    }
+
+    /// Keep ratio.
+    pub fn ratio(&self) -> f32 {
+        self.ratio
+    }
+
+    /// Pool: returns gated kept features and the induced sub-batch.
+    pub fn forward(
+        &mut self,
+        tape: &mut Tape,
+        x: NodeId,
+        batch: &GraphBatch,
+        mode: Mode,
+        rng: &mut Rng,
+    ) -> (NodeId, GraphBatch) {
+        let score = self.score_gnn.forward(tape, x, batch, mode, rng); // [N,1]
+        let flat: Vec<f32> = tape.value(score).data().to_vec();
+        let (keep_ids, sub) = topk_filter(&flat, batch, self.ratio);
+        let keep_rc = Rc::new(keep_ids);
+        let x_kept = tape.index_select(x, keep_rc.clone());
+        let s_kept = tape.index_select(score, keep_rc);
+        let gate = tape.tanh(s_kept);
+        let gated = tape.mul(x_kept, gate);
+        (gated, sub)
+    }
+}
+
+impl Module for SagPool {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.score_gnn.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{Graph, Label};
+    use tensor::Tensor;
+
+    fn batch() -> GraphBatch {
+        let mut g = Graph::new(5, Tensor::zeros([5, 3]), Label::Class(0));
+        for i in 1..5 {
+            g.add_undirected_edge(i - 1, i);
+        }
+        GraphBatch::from_graphs(&[&g])
+    }
+
+    #[test]
+    fn pools_to_ratio_and_structure_aware_scores() {
+        let batch = batch();
+        let mut rng = Rng::seed_from(1);
+        let mut pool = SagPool::new(3, 0.6, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::randn([5, 3], &mut rng));
+        let (gated, sub) = pool.forward(&mut tape, x, &batch, Mode::Eval, &mut rng);
+        assert_eq!(tape.shape(gated).dims(), &[3, 3]); // ceil(5*0.6)=3
+        assert_eq!(sub.batch.len(), 3);
+    }
+
+    #[test]
+    fn gradients_reach_score_network() {
+        let batch = batch();
+        let mut rng = Rng::seed_from(2);
+        let mut pool = SagPool::new(3, 0.5, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::randn([5, 3], &mut rng));
+        let (gated, _) = pool.forward(&mut tape, x, &batch, Mode::Eval, &mut rng);
+        let s = tape.sum(gated);
+        let g = tape.backward(s);
+        for p in pool.params_mut() {
+            assert!(g.get(p.bound_node().unwrap()).is_some());
+        }
+    }
+}

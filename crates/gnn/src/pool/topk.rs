@@ -1,0 +1,181 @@
+//! TopKPool (Gao & Ji, Graph U-Nets): keep the highest-scoring `⌈ratio·n⌉`
+//! nodes of each graph, gating the survivors by their (squashed) scores.
+
+use graph::GraphBatch;
+use std::rc::Rc;
+use tensor::nn::{Module, Param};
+use tensor::rng::Rng;
+use tensor::{NodeId, Tape, Tensor};
+
+/// Select the top-`ratio` nodes per graph by score. Returns the kept node
+/// indices (ascending, so the batch vector stays grouped) and the induced
+/// sub-batch (edges with both endpoints kept, remapped).
+pub fn topk_filter(scores: &[f32], batch: &GraphBatch, ratio: f32) -> (Vec<usize>, GraphBatch) {
+    assert_eq!(scores.len(), batch.num_nodes(), "one score per node");
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    let mut keep: Vec<usize> = Vec::new();
+    let mut offset = 0usize;
+    for &size in &batch.graph_sizes {
+        let k = ((size as f32 * ratio).ceil() as usize).clamp(1, size);
+        let mut ids: Vec<usize> = (offset..offset + size).collect();
+        ids.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut kept: Vec<usize> = ids[..k].to_vec();
+        kept.sort_unstable();
+        keep.extend(kept);
+        offset += size;
+    }
+    // Remap edges.
+    let mut new_id = vec![usize::MAX; batch.num_nodes()];
+    for (ni, &oi) in keep.iter().enumerate() {
+        new_id[oi] = ni;
+    }
+    let mut edge_src = Vec::new();
+    let mut edge_dst = Vec::new();
+    for (&s, &d) in batch.edge_src.iter().zip(batch.edge_dst.iter()) {
+        if new_id[s] != usize::MAX && new_id[d] != usize::MAX {
+            edge_src.push(new_id[s]);
+            edge_dst.push(new_id[d]);
+        }
+    }
+    let new_batch_vec: Vec<usize> = keep.iter().map(|&i| batch.batch[i]).collect();
+    let mut graph_sizes = vec![0usize; batch.num_graphs];
+    for &b in &new_batch_vec {
+        graph_sizes[b] += 1;
+    }
+    let sub = GraphBatch {
+        features: Tensor::zeros([keep.len(), 1]),
+        edge_src: Rc::new(edge_src),
+        edge_dst: Rc::new(edge_dst),
+        batch: Rc::new(new_batch_vec),
+        num_graphs: batch.num_graphs,
+        graph_sizes,
+    };
+    (keep, sub)
+}
+
+/// TopK pooling layer: scores are a learned projection `x·p/‖p‖`; kept
+/// features are gated with `tanh(score)` so gradients reach `p`.
+pub struct TopKPool {
+    projection: Param,
+    ratio: f32,
+}
+
+impl TopKPool {
+    /// TopK pooling over `dim`-dimensional features keeping `ratio` of each
+    /// graph's nodes.
+    pub fn new(dim: usize, ratio: f32, rng: &mut Rng) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0);
+        TopKPool { projection: Param::new(Tensor::randn([dim, 1], rng).mul_scalar(0.1)), ratio }
+    }
+
+    /// Keep ratio.
+    pub fn ratio(&self) -> f32 {
+        self.ratio
+    }
+
+    /// Pool: returns the gated kept features and the induced sub-batch.
+    pub fn forward(
+        &mut self,
+        tape: &mut Tape,
+        x: NodeId,
+        batch: &GraphBatch,
+    ) -> (NodeId, GraphBatch) {
+        let p = self.projection.bind(tape);
+        let sq = tape.square(p);
+        let ssq = tape.sum(sq);
+        let eps = tape.add_scalar(ssq, 1e-12);
+        let norm = tape.sqrt(eps);
+        let raw = tape.matmul(x, p); // [N, 1]
+        let score = tape.div(raw, norm);
+        let keep = {
+            let s = tape.value(score);
+            let flat: Vec<f32> = s.data().to_vec();
+            topk_filter(&flat, batch, self.ratio)
+        };
+        let (keep_ids, sub) = keep;
+        let keep_rc = Rc::new(keep_ids);
+        let x_kept = tape.index_select(x, keep_rc.clone());
+        let s_kept = tape.index_select(score, keep_rc);
+        let gate = tape.tanh(s_kept);
+        let gated = tape.mul(x_kept, gate);
+        (gated, sub)
+    }
+}
+
+impl Module for TopKPool {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.projection]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{Graph, Label};
+
+    fn batch_two_graphs() -> GraphBatch {
+        // Graph 0: 4 nodes path; graph 1: 2 nodes edge.
+        let mut a = Graph::new(4, Tensor::zeros([4, 2]), Label::Class(0));
+        for i in 1..4 {
+            a.add_undirected_edge(i - 1, i);
+        }
+        let mut b = Graph::new(2, Tensor::zeros([2, 2]), Label::Class(0));
+        b.add_undirected_edge(0, 1);
+        GraphBatch::from_graphs(&[&a, &b])
+    }
+
+    #[test]
+    fn filter_keeps_top_scores_per_graph() {
+        let batch = batch_two_graphs();
+        let scores = vec![0.1, 0.9, 0.5, 0.7, 0.3, 0.8];
+        let (keep, sub) = topk_filter(&scores, &batch, 0.5);
+        // Graph 0 keeps ceil(4*0.5)=2 best: nodes 1 and 3; graph 1 keeps 1: node 5.
+        assert_eq!(keep, vec![1, 3, 5]);
+        assert_eq!(sub.batch.as_ref(), &vec![0, 0, 1]);
+        assert_eq!(sub.graph_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn filter_remaps_surviving_edges() {
+        let batch = batch_two_graphs();
+        // Keep nodes 0,1 of graph 0 (edge between them survives) + node 4.
+        let scores = vec![0.9, 0.8, 0.1, 0.0, 0.9, 0.1];
+        let (keep, sub) = topk_filter(&scores, &batch, 0.5);
+        assert_eq!(keep, vec![0, 1, 4]);
+        // Edge 0-1 survives in both directions, remapped to 0-1.
+        let pairs: Vec<(usize, usize)> = sub
+            .edge_src
+            .iter()
+            .zip(sub.edge_dst.iter())
+            .map(|(&s, &d)| (s, d))
+            .collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn every_graph_keeps_at_least_one_node() {
+        let batch = batch_two_graphs();
+        let scores = vec![0.0; 6];
+        let (_, sub) = topk_filter(&scores, &batch, 0.01);
+        assert_eq!(sub.graph_sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn pool_layer_gates_and_shrinks() {
+        let batch = batch_two_graphs();
+        let mut rng = Rng::seed_from(1);
+        let mut pool = TopKPool::new(2, 0.5, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::randn([6, 2], &mut rng));
+        let (gated, sub) = pool.forward(&mut tape, x, &batch);
+        assert_eq!(tape.shape(gated).dims(), &[3, 2]);
+        assert_eq!(sub.num_graphs, 2);
+        let s = tape.sum(gated);
+        let g = tape.backward(s);
+        assert!(g.get(pool.projection.bound_node().unwrap()).is_some());
+    }
+}

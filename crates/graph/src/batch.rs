@@ -1,0 +1,172 @@
+//! Mini-batching by disjoint union.
+//!
+//! A [`GraphBatch`] concatenates several graphs into one block-diagonal
+//! super-graph: node features are stacked, edge endpoints are offset, and a
+//! `batch` vector maps every node to its source graph — exactly the layout
+//! message-passing layers and segment-pooling expect.
+
+use crate::graph::Graph;
+use std::rc::Rc;
+use tensor::Tensor;
+
+/// A disjoint union of graphs prepared for batched message passing.
+#[derive(Clone)]
+pub struct GraphBatch {
+    /// Stacked node features `[total_nodes, f]`.
+    pub features: Tensor,
+    /// Global edge sources.
+    pub edge_src: Rc<Vec<usize>>,
+    /// Global edge destinations.
+    pub edge_dst: Rc<Vec<usize>>,
+    /// Node → graph assignment, length `total_nodes`.
+    pub batch: Rc<Vec<usize>>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+    /// Number of nodes per graph.
+    pub graph_sizes: Vec<usize>,
+}
+
+impl GraphBatch {
+    /// Build a batch from a set of graphs (in the given order).
+    ///
+    /// # Panics
+    /// Panics if `graphs` is empty or feature dims disagree.
+    pub fn from_graphs(graphs: &[&Graph]) -> Self {
+        assert!(!graphs.is_empty(), "empty batch");
+        let f = graphs[0].feature_dim();
+        let total_nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let total_edges: usize = graphs.iter().map(|g| g.num_directed_edges()).sum();
+        let mut features = Vec::with_capacity(total_nodes * f);
+        let mut edge_src = Vec::with_capacity(total_edges);
+        let mut edge_dst = Vec::with_capacity(total_edges);
+        let mut batch = Vec::with_capacity(total_nodes);
+        let mut graph_sizes = Vec::with_capacity(graphs.len());
+        let mut offset = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            assert_eq!(g.feature_dim(), f, "feature dim mismatch in batch");
+            features.extend_from_slice(g.features().data());
+            for &(s, t) in g.edges() {
+                edge_src.push(offset + s as usize);
+                edge_dst.push(offset + t as usize);
+            }
+            batch.extend(std::iter::repeat_n(gi, g.num_nodes()));
+            graph_sizes.push(g.num_nodes());
+            offset += g.num_nodes();
+        }
+        GraphBatch {
+            features: Tensor::from_vec(features, [total_nodes, f]),
+            edge_src: Rc::new(edge_src),
+            edge_dst: Rc::new(edge_dst),
+            batch: Rc::new(batch),
+            num_graphs: graphs.len(),
+            graph_sizes,
+        }
+    }
+
+    /// Convenience: batch a dataset subset by indices.
+    pub fn from_dataset(ds: &crate::dataset::GraphDataset, indices: &[usize]) -> Self {
+        let graphs: Vec<&Graph> = indices.iter().map(|&i| ds.graph(i)).collect();
+        Self::from_graphs(&graphs)
+    }
+
+    /// Total number of nodes across the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Total number of directed edges across the batch.
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// In-degrees of every node in the batch (counting incoming directed
+    /// edges), used by GCN normalization and PNA scalers.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.num_nodes()];
+        for &t in self.edge_dst.iter() {
+            d[t] += 1;
+        }
+        d
+    }
+
+    /// GCN symmetric normalization coefficients per edge:
+    /// `1 / sqrt((deg(src)+1) * (deg(dst)+1))` (self-loops counted once, as
+    /// in Kipf & Welling with added self-loops).
+    pub fn gcn_edge_norm(&self) -> Vec<f32> {
+        let deg = self.in_degrees();
+        self.edge_src
+            .iter()
+            .zip(self.edge_dst.iter())
+            .map(|(&s, &t)| {
+                let ds = (deg[s] + 1) as f32;
+                let dt = (deg[t] + 1) as f32;
+                1.0 / (ds * dt).sqrt()
+            })
+            .collect()
+    }
+
+    /// Per-node self-loop coefficient for GCN: `1 / (deg+1)`.
+    pub fn gcn_self_norm(&self) -> Vec<f32> {
+        self.in_degrees().iter().map(|&d| 1.0 / (d + 1) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Label;
+
+    fn g(nodes: usize, val: f32) -> Graph {
+        let mut g = Graph::new(nodes, Tensor::full([nodes, 2], val), Label::Class(0));
+        for i in 1..nodes {
+            g.add_undirected_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn batch_offsets_edges() {
+        let a = g(3, 1.0);
+        let b = g(2, 2.0);
+        let batch = GraphBatch::from_graphs(&[&a, &b]);
+        assert_eq!(batch.num_nodes(), 5);
+        assert_eq!(batch.num_graphs, 2);
+        assert_eq!(batch.graph_sizes, vec![3, 2]);
+        // Second graph's edge 0-1 must appear as 3-4.
+        assert!(batch
+            .edge_src
+            .iter()
+            .zip(batch.edge_dst.iter())
+            .any(|(&s, &t)| s == 3 && t == 4));
+        assert_eq!(batch.batch.as_ref(), &vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn features_stacked_in_order() {
+        let a = g(2, 1.0);
+        let b = g(1, 9.0);
+        let batch = GraphBatch::from_graphs(&[&a, &b]);
+        assert_eq!(batch.features.row(0), &[1.0, 1.0]);
+        assert_eq!(batch.features.row(2), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn degrees_and_gcn_norm() {
+        let a = g(3, 1.0); // path 0-1-2: degrees 1,2,1
+        let batch = GraphBatch::from_graphs(&[&a]);
+        assert_eq!(batch.in_degrees(), vec![1, 2, 1]);
+        let norm = batch.gcn_edge_norm();
+        assert_eq!(norm.len(), 4);
+        // Edge 0->1: 1/sqrt(2*3)
+        let expect = 1.0 / (2.0f32 * 3.0).sqrt();
+        assert!((norm[0] - expect).abs() < 1e-6);
+        let self_norm = batch.gcn_self_norm();
+        assert!((self_norm[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = GraphBatch::from_graphs(&[]);
+    }
+}

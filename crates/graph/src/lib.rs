@@ -1,0 +1,19 @@
+//! # ood-graph
+//!
+//! Graph data model for the OOD-GNN workspace: the [`Graph`] value type,
+//! mini-batching via disjoint union ([`GraphBatch`]), dataset containers
+//! with task metadata ([`GraphDataset`]), train/val/test splitting
+//! strategies (random, by graph size, by scaffold), and classic graph
+//! algorithms (exact triangle counting, connectivity, degrees) used by the
+//! synthetic benchmark generators.
+
+pub mod algo;
+pub mod batch;
+pub mod dataset;
+pub mod graph;
+pub mod split;
+
+pub use batch::GraphBatch;
+pub use dataset::{GraphDataset, Label, TaskType};
+pub use graph::Graph;
+pub use split::Split;

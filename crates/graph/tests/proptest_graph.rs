@@ -1,0 +1,126 @@
+//! Property-based tests for the graph data model: batching invariants,
+//! permutation invariance of triangle counting, and split well-formedness.
+
+use ood_graph::algo::{is_connected, triangle_count, undirected_degrees};
+use ood_graph::split::{random_split, size_split};
+use ood_graph::{Graph, GraphBatch, GraphDataset, Label, TaskType};
+use proptest::prelude::*;
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+/// Strategy: a random undirected graph with `n` nodes and some edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..30)).prop_map(
+        |(n, raw_edges)| {
+            let mut g = Graph::new(n, Tensor::zeros([n, 2]), Label::Class(0));
+            let mut seen = std::collections::BTreeSet::new();
+            for (a, b) in raw_edges {
+                let (a, b) = (a % n, b % n);
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    g.add_undirected_edge(a, b);
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn triangle_count_is_permutation_invariant(g in graph_strategy(), seed in 0u64..1000) {
+        let n = g.num_nodes();
+        let mut rng = Rng::seed_from(seed);
+        let perm = rng.permutation(n);
+        let mut h = Graph::new(n, Tensor::zeros([n, 2]), Label::Class(0));
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, b) in g.edges() {
+            let (pa, pb) = (perm[a as usize], perm[b as usize]);
+            if seen.insert((pa.min(pb), pa.max(pb))) {
+                h.add_undirected_edge(pa, pb);
+            }
+        }
+        prop_assert_eq!(triangle_count(&g), triangle_count(&h));
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_edges(g in graph_strategy()) {
+        let total: usize = undirected_degrees(&g).iter().sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn batching_preserves_node_and_edge_counts(
+        graphs in proptest::collection::vec(graph_strategy(), 1..6),
+    ) {
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let batch = GraphBatch::from_graphs(&refs);
+        let total_nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let total_edges: usize = graphs.iter().map(|g| g.num_directed_edges()).sum();
+        prop_assert_eq!(batch.num_nodes(), total_nodes);
+        prop_assert_eq!(batch.num_edges(), total_edges);
+        // Batch vector is sorted and spans all graphs.
+        prop_assert!(batch.batch.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(batch.batch.last().copied(), Some(graphs.len() - 1));
+        // Edges never cross graph boundaries.
+        for (&s, &d) in batch.edge_src.iter().zip(batch.edge_dst.iter()) {
+            prop_assert_eq!(batch.batch[s], batch.batch[d]);
+        }
+    }
+
+    #[test]
+    fn gcn_norms_are_positive_and_bounded(g in graph_strategy()) {
+        let batch = GraphBatch::from_graphs(&[&g]);
+        for v in batch.gcn_edge_norm() {
+            prop_assert!(v > 0.0 && v <= 1.0);
+        }
+        for v in batch.gcn_self_norm() {
+            prop_assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn random_split_is_partition(n in 4usize..60, seed in 0u64..1000) {
+        let graphs: Vec<Graph> = (0..n)
+            .map(|_| Graph::new(2, Tensor::zeros([2, 1]), Label::Class(0)))
+            .collect();
+        let ds = GraphDataset::new("p", graphs, TaskType::MultiClass { classes: 1 });
+        let mut rng = Rng::seed_from(seed);
+        let s = random_split(&ds, 0.6, 0.2, &mut rng);
+        prop_assert!(s.validate(n).is_ok());
+        prop_assert_eq!(s.len(), n);
+    }
+
+    #[test]
+    fn size_split_never_trains_on_large(
+        sizes in proptest::collection::vec(2usize..40, 5..40),
+        cutoff in 5usize..30,
+        seed in 0u64..1000,
+    ) {
+        let graphs: Vec<Graph> = sizes
+            .iter()
+            .map(|&n| Graph::new(n, Tensor::zeros([n, 1]), Label::Class(0)))
+            .collect();
+        let ds = GraphDataset::new("s", graphs, TaskType::MultiClass { classes: 1 });
+        let mut rng = Rng::seed_from(seed);
+        let s = size_split(&ds, cutoff, None, 0.1, &mut rng);
+        prop_assert!(s.validate(sizes.len()).is_ok());
+        for &i in &s.train {
+            prop_assert!(ds.graph(i).num_nodes() <= cutoff);
+        }
+        for &i in &s.test {
+            prop_assert!(ds.graph(i).num_nodes() > cutoff);
+        }
+    }
+
+    #[test]
+    fn connectivity_is_monotone_under_edge_addition(g in graph_strategy()) {
+        // Adding a spanning path makes any graph connected.
+        let mut h = g.clone();
+        for i in 1..h.num_nodes() {
+            h.add_undirected_edge(i - 1, i);
+        }
+        prop_assert!(is_connected(&h));
+    }
+}

@@ -1,0 +1,82 @@
+//! Lookup-table embedding.
+
+use super::module::{Module, Param};
+use crate::rng::Rng;
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// A trainable lookup table mapping integer ids to dense vectors; used to
+/// embed categorical node/edge attributes (atom type, bond type, degree).
+pub struct Embedding {
+    weight: Param,
+    num_embeddings: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// `num_embeddings` rows of dimension `dim`, initialized `N(0, 0.1)`.
+    pub fn new(num_embeddings: usize, dim: usize, rng: &mut Rng) -> Self {
+        Embedding {
+            weight: Param::new(Tensor::randn([num_embeddings, dim], rng).mul_scalar(0.1)),
+            num_embeddings,
+            dim,
+        }
+    }
+
+    /// Number of rows in the table.
+    pub fn num_embeddings(&self) -> usize {
+        self.num_embeddings
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Look up a batch of ids, producing `[ids.len(), dim]`.
+    pub fn forward(&mut self, tape: &mut Tape, ids: &[usize]) -> NodeId {
+        for &i in ids {
+            assert!(i < self.num_embeddings, "embedding id {i} out of range {}", self.num_embeddings);
+        }
+        let w = self.weight.bind(tape);
+        tape.index_select(w, Rc::new(ids.to_vec()))
+    }
+}
+
+impl Module for Embedding {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shape_and_grads() {
+        let mut rng = Rng::seed_from(1);
+        let mut e = Embedding::new(5, 3, &mut rng);
+        assert_eq!(e.num_params(), 15);
+        let mut tape = Tape::new();
+        let out = e.forward(&mut tape, &[0, 2, 2]);
+        assert_eq!(tape.shape(out).dims(), &[3, 3]);
+        let s = tape.sum(out);
+        let g = tape.backward(s);
+        let gw = g.get(e.params_mut()[0].bound_node().unwrap()).unwrap();
+        // Row 2 used twice -> gradient 2, row 0 once -> 1, others 0.
+        assert_eq!(gw.row(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(gw.row(2), &[2.0, 2.0, 2.0]);
+        assert_eq!(gw.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut rng = Rng::seed_from(1);
+        let mut e = Embedding::new(2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let _ = e.forward(&mut tape, &[2]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Parameters and the module trait.
+
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_KEY: AtomicU64 = AtomicU64::new(1);
+
+/// A trainable parameter: an owned tensor plus the bookkeeping needed to
+/// connect it to a fresh [`Tape`] each forward pass and to per-parameter
+/// optimizer state.
+///
+/// Usage pattern per training step:
+/// 1. each layer calls [`Param::bind`] during its forward pass, registering
+///    the parameter as a tape leaf;
+/// 2. after `tape.backward(loss)`, the optimizer reads the gradient of each
+///    parameter's bound node and updates `value`.
+pub struct Param {
+    key: u64,
+    /// Current parameter value.
+    pub value: Tensor,
+    bound: Option<NodeId>,
+}
+
+impl Param {
+    /// Wrap a tensor as a trainable parameter.
+    pub fn new(value: Tensor) -> Self {
+        Param {
+            key: NEXT_PARAM_KEY.fetch_add(1, Ordering::Relaxed),
+            value,
+            bound: None,
+        }
+    }
+
+    /// Stable identity of this parameter (used to key optimizer state).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Register this parameter as a leaf on `tape` and remember the node id
+    /// for the optimizer. Call once per forward pass.
+    pub fn bind(&mut self, tape: &mut Tape) -> NodeId {
+        let id = tape.leaf(self.value.clone());
+        self.bound = Some(id);
+        id
+    }
+
+    /// The node id from the most recent [`Param::bind`], if any.
+    pub fn bound_node(&self) -> Option<NodeId> {
+        self.bound
+    }
+
+    /// Forget the bound node (e.g. when a tape is dropped without a step).
+    pub fn clear_binding(&mut self) {
+        self.bound = None;
+    }
+
+    /// Number of scalar entries.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// Anything with trainable parameters.
+pub trait Module {
+    /// Mutable access to every parameter, for optimizers.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Non-trainable state that must survive checkpointing (e.g. BatchNorm
+    /// running statistics). Composite modules must forward their
+    /// children's buffers.
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Total number of trainable scalars (used for the paper's §4.8
+    /// parameter-count comparison).
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique() {
+        let a = Param::new(Tensor::zeros([2]));
+        let b = Param::new(Tensor::zeros([2]));
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn bind_registers_leaf() {
+        let mut tape = Tape::new();
+        let mut p = Param::new(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let id = p.bind(&mut tape);
+        assert_eq!(tape.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(p.bound_node(), Some(id));
+        p.clear_binding();
+        assert_eq!(p.bound_node(), None);
+    }
+}

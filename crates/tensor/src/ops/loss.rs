@@ -1,0 +1,203 @@
+//! Loss functions composed from primitive ops.
+//!
+//! All losses return a **per-sample vector node** of shape `[n]`, so callers
+//! can apply per-sample weights (the heart of OOD-GNN's reweighted ERM,
+//! Eq. 6/11 of the paper) before reducing. [`weighted_mean`] performs the
+//! final weighted reduction.
+
+use crate::ops::Axis;
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+
+/// Per-sample multi-class cross-entropy from logits.
+///
+/// `logits`: `[n, num_classes]` node; `targets[i]` is the class index of
+/// sample `i`. Returns a `[n]` node of losses `-log softmax(logits)[i, y_i]`.
+pub fn cross_entropy(tape: &mut Tape, logits: NodeId, targets: &[usize]) -> NodeId {
+    let (n, c) = tape.shape(logits).as_matrix();
+    assert_eq!(n, targets.len(), "cross_entropy: {n} logits vs {} targets", targets.len());
+    let ls = tape.log_softmax(logits);
+    let mut onehot_neg = Tensor::zeros([n, c]);
+    for (i, &y) in targets.iter().enumerate() {
+        assert!(y < c, "target class {y} out of range {c}");
+        *onehot_neg.at_mut(i, y) = -1.0;
+    }
+    let mask = tape.constant(onehot_neg);
+    let picked = tape.mul(ls, mask);
+    tape.sum_axis(picked, Axis::Cols)
+}
+
+/// Per-sample multi-task binary cross-entropy with logits.
+///
+/// `logits`: `[n, t]`; `targets`: `[n, t]` of {0,1}; `mask`: `[n, t]` of
+/// {0,1} marking observed labels (use all-ones when every label is present).
+/// Uses the numerically stable formulation
+/// `bce(x, y) = softplus(x) - x*y` and averages over the observed tasks of
+/// each sample. Returns a `[n]` node.
+pub fn bce_with_logits(tape: &mut Tape, logits: NodeId, targets: &Tensor, mask: &Tensor) -> NodeId {
+    let (n, t) = tape.shape(logits).as_matrix();
+    assert_eq!(targets.shape().dims(), &[n, t], "bce targets shape");
+    assert_eq!(mask.shape().dims(), &[n, t], "bce mask shape");
+    let y = tape.constant(targets.clone());
+    let sp = tape.softplus(logits);
+    let xy = tape.mul(logits, y);
+    let per_entry = tape.sub(sp, xy);
+    let m = tape.constant(mask.clone());
+    let masked = tape.mul(per_entry, m);
+    let per_sample_sum = tape.sum_axis(masked, Axis::Cols);
+    // Divide by the number of observed tasks per sample (≥1 to avoid 0/0).
+    let counts: Vec<f32> = (0..n)
+        .map(|i| mask.row(i).iter().sum::<f32>().max(1.0))
+        .collect();
+    let counts = tape.constant(Tensor::from_vec(counts, [n]));
+    tape.div(per_sample_sum, counts)
+}
+
+/// Per-sample mean squared error for (possibly multi-target) regression.
+///
+/// `preds`: `[n, t]`; `targets`: `[n, t]`. Returns a `[n]` node of
+/// per-sample MSE averaged over targets.
+pub fn mse(tape: &mut Tape, preds: NodeId, targets: &Tensor) -> NodeId {
+    let (n, t) = tape.shape(preds).as_matrix();
+    assert_eq!(targets.shape().dims(), &[n, t], "mse targets shape");
+    let y = tape.constant(targets.clone());
+    let d = tape.sub(preds, y);
+    let sq = tape.square(d);
+    tape.mean_axis(sq, Axis::Cols)
+}
+
+/// Weighted mean of a per-sample loss vector: `Σ w_i ℓ_i / n`.
+///
+/// `weights` is a constant (the sample weights are optimized in a separate
+/// inner loop; they are treated as fixed when updating the encoder, exactly
+/// as in Algorithm 1 line 9 of the paper).
+pub fn weighted_mean(tape: &mut Tape, per_sample: NodeId, weights: &Tensor) -> NodeId {
+    let n = tape.shape(per_sample).numel();
+    assert_eq!(weights.numel(), n, "weighted_mean: {n} losses vs {} weights", weights.numel());
+    let w = tape.constant(weights.reshape([n]));
+    let prod = tape.mul(per_sample, w);
+    let s = tape.sum(prod);
+    tape.mul_scalar(s, 1.0 / n.max(1) as f32)
+}
+
+/// Unweighted mean of a per-sample loss vector.
+pub fn mean_loss(tape: &mut Tape, per_sample: NodeId) -> NodeId {
+    tape.mean(per_sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::assert_gradients;
+    use crate::rng::Rng;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let mut tp = Tape::new();
+        let logits = tp.leaf(Tensor::zeros([2, 4]));
+        let l = cross_entropy(&mut tp, logits, &[0, 3]);
+        let v = tp.value(l);
+        for i in 0..2 {
+            assert!((v.data()[i] - 4f32.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut tp = Tape::new();
+        let logits = tp.leaf(Tensor::from_vec(vec![10., 0., 0.], [1, 3]));
+        let l = cross_entropy(&mut tp, logits, &[0]);
+        assert!(tp.value(l).data()[0] < 1e-3);
+        let l2 = {
+            let mut tp2 = Tape::new();
+            let logits = tp2.leaf(Tensor::from_vec(vec![10., 0., 0.], [1, 3]));
+            let l = cross_entropy(&mut tp2, logits, &[1]);
+            tp2.value(l).data()[0]
+        };
+        assert!(l2 > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn([3, 4], &mut rng);
+        assert_gradients(&[x], 1e-2, 2e-2, |t, ids| {
+            let l = cross_entropy(t, ids[0], &[1, 0, 3]);
+            t.sum(l)
+        });
+    }
+
+    #[test]
+    fn bce_matches_reference() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(Tensor::from_vec(vec![0.0, 2.0], [1, 2]));
+        let y = Tensor::from_vec(vec![1.0, 0.0], [1, 2]);
+        let m = Tensor::ones([1, 2]);
+        let l = bce_with_logits(&mut tp, x, &y, &m);
+        // bce(0,1)=ln2 ; bce(2,0)=softplus(2)=ln(1+e^2)
+        let expected = (2f32.ln() + (1.0 + 2f32.exp()).ln()) / 2.0;
+        assert!((tp.value(l).data()[0] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_mask_ignores_missing_tasks() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(Tensor::from_vec(vec![5.0, -100.0], [1, 2]));
+        let y = Tensor::from_vec(vec![1.0, 1.0], [1, 2]);
+        // task 1 unobserved; the huge wrong logit must not contribute
+        let m = Tensor::from_vec(vec![1.0, 0.0], [1, 2]);
+        let l = bce_with_logits(&mut tp, x, &y, &m);
+        assert!(tp.value(l).data()[0] < 0.01);
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn([2, 3], &mut rng);
+        let y = Tensor::from_vec(vec![1., 0., 1., 0., 1., 0.], [2, 3]);
+        let m = Tensor::from_vec(vec![1., 1., 0., 1., 1., 1.], [2, 3]);
+        assert_gradients(&[x], 1e-2, 2e-2, move |t, ids| {
+            let l = bce_with_logits(t, ids[0], &y, &m);
+            t.sum(l)
+        });
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let mut tp = Tape::new();
+        let y = Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]);
+        let p = tp.leaf(y.clone());
+        let l = mse(&mut tp, p, &y);
+        assert_eq!(tp.value(l).data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn mse_gradcheck() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn([3, 2], &mut rng);
+        let y = Tensor::randn([3, 2], &mut rng);
+        assert_gradients(&[x], 1e-2, 2e-2, move |t, ids| {
+            let l = mse(t, ids[0], &y);
+            t.sum(l)
+        });
+    }
+
+    #[test]
+    fn weighted_mean_weights_apply() {
+        let mut tp = Tape::new();
+        let per = tp.leaf(Tensor::from_vec(vec![1.0, 3.0], [2]));
+        let w = Tensor::from_vec(vec![2.0, 0.0], [2]);
+        let l = weighted_mean(&mut tp, per, &w);
+        assert!((tp.value(l).item() - 1.0).abs() < 1e-6); // (2*1 + 0*3)/2
+    }
+
+    #[test]
+    fn weighted_mean_uniform_equals_mean() {
+        let mut tp = Tape::new();
+        let per = tp.leaf(Tensor::from_vec(vec![1.0, 3.0, 5.0], [3]));
+        let w = Tensor::ones([3]);
+        let wl = weighted_mean(&mut tp, per, &w);
+        let ml = mean_loss(&mut tp, per);
+        assert!((tp.value(wl).item() - tp.value(ml).item()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,988 @@
+//! Differentiable operations: the [`Op`] enum, forward/backward rules, and
+//! the builder methods on [`Tape`] that record them.
+//!
+//! Every op's backward rule is hand-written and covered by central
+//! finite-difference gradient checks (see `crate::check` and the crate's
+//! integration tests).
+
+pub mod loss;
+
+use crate::shape::{broadcast_shapes, reduce_grad_to, Shape};
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Axis selector for matrix reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Reduce over rows (output has one entry per column).
+    Rows,
+    /// Reduce over columns (output has one entry per row).
+    Cols,
+}
+
+/// A recorded differentiable operation. Fields are the input node ids plus
+/// whatever constants the backward rule needs.
+#[derive(Clone)]
+pub enum Op {
+    /// A leaf (parameter or constant); no inputs.
+    Leaf,
+    /// Broadcasting element-wise addition.
+    Add(NodeId, NodeId),
+    /// Broadcasting element-wise subtraction.
+    Sub(NodeId, NodeId),
+    /// Broadcasting element-wise multiplication.
+    Mul(NodeId, NodeId),
+    /// Broadcasting element-wise division.
+    Div(NodeId, NodeId),
+    /// Element-wise negation.
+    Neg(NodeId),
+    /// Add a scalar constant.
+    AddScalar(NodeId, f32),
+    /// Multiply by a scalar constant.
+    MulScalar(NodeId, f32),
+    /// Raise to a scalar power.
+    PowScalar(NodeId, f32),
+    /// Dense 2-D matrix product.
+    Matmul(NodeId, NodeId),
+    /// 2-D transpose.
+    Transpose(NodeId),
+    /// Rectified linear unit.
+    Relu(NodeId),
+    /// Logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Hyperbolic tangent.
+    Tanh(NodeId),
+    /// Element-wise cosine (used by random Fourier features).
+    Cos(NodeId),
+    /// Element-wise exponential.
+    Exp(NodeId),
+    /// Element-wise natural log.
+    Log(NodeId),
+    /// Element-wise square root.
+    Sqrt(NodeId),
+    /// Numerically stable `log(1 + e^x)`.
+    Softplus(NodeId),
+    /// Sum of all elements to a scalar.
+    Sum(NodeId),
+    /// Mean of all elements to a scalar.
+    Mean(NodeId),
+    /// Matrix reduction along an axis to a vector.
+    SumAxis(NodeId, Axis),
+    /// Matrix mean along an axis to a vector.
+    MeanAxis(NodeId, Axis),
+    /// Shape change preserving element order.
+    Reshape(NodeId, Shape),
+    /// Vertical concatenation of matrices (equal column counts).
+    ConcatRows(Rc<Vec<NodeId>>),
+    /// Horizontal concatenation of matrices (equal row counts).
+    ConcatCols(Rc<Vec<NodeId>>),
+    /// Contiguous row slice `[start, start+len)` of a matrix.
+    SliceRows(NodeId, usize, usize),
+    /// Row gather: `out[i] = in[idx[i]]`.
+    IndexSelect(NodeId, Rc<Vec<usize>>),
+    /// Row scatter-add: `out[idx[i]] += in[i]` into `num_rows` rows.
+    ScatterAddRows(NodeId, Rc<Vec<usize>>, usize),
+    /// Per-segment max over rows (empty segments produce 0).
+    SegmentMax(NodeId, Rc<Vec<usize>>, usize),
+    /// Per-segment min over rows (empty segments produce 0).
+    SegmentMin(NodeId, Rc<Vec<usize>>, usize),
+    /// Row-wise log-softmax of a matrix.
+    LogSoftmax(NodeId),
+}
+
+impl Op {
+    /// The input node ids of this op.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) | Op::Matmul(a, b) => {
+                vec![*a, *b]
+            }
+            Op::Neg(a)
+            | Op::AddScalar(a, _)
+            | Op::MulScalar(a, _)
+            | Op::PowScalar(a, _)
+            | Op::Transpose(a)
+            | Op::Relu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Cos(a)
+            | Op::Exp(a)
+            | Op::Log(a)
+            | Op::Sqrt(a)
+            | Op::Softplus(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::SumAxis(a, _)
+            | Op::MeanAxis(a, _)
+            | Op::Reshape(a, _)
+            | Op::SliceRows(a, _, _)
+            | Op::IndexSelect(a, _)
+            | Op::ScatterAddRows(a, _, _)
+            | Op::SegmentMax(a, _, _)
+            | Op::SegmentMin(a, _, _)
+            | Op::LogSoftmax(a) => vec![*a],
+            Op::ConcatRows(xs) | Op::ConcatCols(xs) => xs.as_ref().clone(),
+        }
+    }
+
+    /// Compute the forward value of this op from its inputs on `tape`.
+    pub(crate) fn forward(&self, tape: &Tape) -> Tensor {
+        let v = |id: &NodeId| tape.value(*id);
+        match self {
+            Op::Leaf => unreachable!("Leaf has no forward"),
+            Op::Add(a, b) => v(a).add(v(b)),
+            Op::Sub(a, b) => v(a).sub(v(b)),
+            Op::Mul(a, b) => v(a).mul(v(b)),
+            Op::Div(a, b) => v(a).div(v(b)),
+            Op::Neg(a) => v(a).map(|x| -x),
+            Op::AddScalar(a, c) => v(a).add_scalar(*c),
+            Op::MulScalar(a, c) => v(a).mul_scalar(*c),
+            Op::PowScalar(a, p) => v(a).map(|x| x.powf(*p)),
+            Op::Matmul(a, b) => v(a).matmul(v(b)),
+            Op::Transpose(a) => v(a).transpose(),
+            Op::Relu(a) => v(a).map(|x| x.max(0.0)),
+            Op::Sigmoid(a) => v(a).map(sigmoid),
+            Op::Tanh(a) => v(a).map(f32::tanh),
+            Op::Cos(a) => v(a).map(f32::cos),
+            Op::Exp(a) => v(a).map(f32::exp),
+            Op::Log(a) => v(a).map(f32::ln),
+            Op::Sqrt(a) => v(a).map(f32::sqrt),
+            Op::Softplus(a) => v(a).map(softplus),
+            Op::Sum(a) => Tensor::scalar(v(a).sum()),
+            Op::Mean(a) => Tensor::scalar(v(a).mean()),
+            Op::SumAxis(a, axis) => sum_axis(v(a), *axis),
+            Op::MeanAxis(a, axis) => {
+                let x = v(a);
+                let n = match axis {
+                    Axis::Rows => x.nrows(),
+                    Axis::Cols => x.ncols(),
+                };
+                sum_axis(x, *axis).mul_scalar(1.0 / n.max(1) as f32)
+            }
+            Op::Reshape(a, shape) => v(a).reshape(shape.clone()),
+            Op::ConcatRows(xs) => {
+                let parts: Vec<&Tensor> = xs.iter().map(|id| tape.value(*id)).collect();
+                Tensor::vcat(&parts)
+            }
+            Op::ConcatCols(xs) => concat_cols(&xs.iter().map(|id| tape.value(*id)).collect::<Vec<_>>()),
+            Op::SliceRows(a, start, len) => {
+                let x = v(a);
+                let (r, c) = x.shape().as_matrix();
+                assert!(start + len <= r, "slice_rows [{start},{}) out of {r}", start + len);
+                let data = x.data()[start * c..(start + len) * c].to_vec();
+                Tensor::from_vec(data, [*len, c])
+            }
+            Op::IndexSelect(a, idx) => v(a).index_select_rows(idx),
+            Op::ScatterAddRows(a, idx, n) => v(a).scatter_add_rows(idx, *n),
+            Op::SegmentMax(a, seg, n) => segment_extreme(v(a), seg, *n, true).0,
+            Op::SegmentMin(a, seg, n) => segment_extreme(v(a), seg, *n, false).0,
+            Op::LogSoftmax(a) => log_softmax(v(a)),
+        }
+    }
+
+    /// Given the output `value` and the incoming gradient `grad`, compute the
+    /// gradients flowing into each input.
+    pub(crate) fn backward(
+        &self,
+        tape: &Tape,
+        value: &Tensor,
+        grad: &Tensor,
+    ) -> Vec<(NodeId, Tensor)> {
+        let v = |id: &NodeId| tape.value(*id);
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b) => vec![
+                (*a, reduce_grad_to(grad, v(a).shape())),
+                (*b, reduce_grad_to(grad, v(b).shape())),
+            ],
+            Op::Sub(a, b) => vec![
+                (*a, reduce_grad_to(grad, v(a).shape())),
+                (*b, reduce_grad_to(&grad.map(|x| -x), v(b).shape())),
+            ],
+            Op::Mul(a, b) => {
+                let ga = grad.zip_broadcast(v(b), |g, bb| g * bb);
+                let gb = grad.zip_broadcast(v(a), |g, aa| g * aa);
+                vec![
+                    (*a, reduce_grad_to(&ga, v(a).shape())),
+                    (*b, reduce_grad_to(&gb, v(b).shape())),
+                ]
+            }
+            Op::Div(a, b) => {
+                let ga = grad.zip_broadcast(v(b), |g, bb| g / bb);
+                let gnum = grad.zip_broadcast(v(a), |g, aa| g * aa);
+                let gb = gnum.zip_broadcast(v(b), |t, bb| -t / (bb * bb));
+                vec![
+                    (*a, reduce_grad_to(&ga, v(a).shape())),
+                    (*b, reduce_grad_to(&gb, v(b).shape())),
+                ]
+            }
+            Op::Neg(a) => vec![(*a, grad.map(|x| -x))],
+            Op::AddScalar(a, _) => vec![(*a, grad.clone())],
+            Op::MulScalar(a, c) => vec![(*a, grad.mul_scalar(*c))],
+            Op::PowScalar(a, p) => {
+                let x = v(a);
+                let g = grad.zip_broadcast(x, |g, x| g * p * x.powf(p - 1.0));
+                vec![(*a, g)]
+            }
+            Op::Matmul(a, b) => {
+                let ga = grad.matmul(&v(b).transpose());
+                let gb = v(a).transpose().matmul(grad);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Transpose(a) => vec![(*a, grad.transpose())],
+            Op::Relu(a) => {
+                let g = grad.zip_broadcast(v(a), |g, x| if x > 0.0 { g } else { 0.0 });
+                vec![(*a, g)]
+            }
+            Op::Sigmoid(a) => {
+                let g = grad.zip_broadcast(value, |g, y| g * y * (1.0 - y));
+                vec![(*a, g)]
+            }
+            Op::Tanh(a) => {
+                let g = grad.zip_broadcast(value, |g, y| g * (1.0 - y * y));
+                vec![(*a, g)]
+            }
+            Op::Cos(a) => {
+                let g = grad.zip_broadcast(v(a), |g, x| -g * x.sin());
+                vec![(*a, g)]
+            }
+            Op::Exp(a) => {
+                let g = grad.zip_broadcast(value, |g, y| g * y);
+                vec![(*a, g)]
+            }
+            Op::Log(a) => {
+                let g = grad.zip_broadcast(v(a), |g, x| g / x);
+                vec![(*a, g)]
+            }
+            Op::Sqrt(a) => {
+                let g = grad.zip_broadcast(value, |g, y| g / (2.0 * y));
+                vec![(*a, g)]
+            }
+            Op::Softplus(a) => {
+                let g = grad.zip_broadcast(v(a), |g, x| g * sigmoid(x));
+                vec![(*a, g)]
+            }
+            Op::Sum(a) => {
+                let s = grad.item();
+                vec![(*a, Tensor::full(v(a).shape().clone(), s))]
+            }
+            Op::Mean(a) => {
+                let n = v(a).numel().max(1) as f32;
+                vec![(*a, Tensor::full(v(a).shape().clone(), grad.item() / n))]
+            }
+            Op::SumAxis(a, axis) => vec![(*a, spread_axis(grad, v(a).shape(), *axis, 1.0))],
+            Op::MeanAxis(a, axis) => {
+                let x = v(a);
+                let n = match axis {
+                    Axis::Rows => x.nrows(),
+                    Axis::Cols => x.ncols(),
+                } as f32;
+                vec![(*a, spread_axis(grad, x.shape(), *axis, 1.0 / n.max(1.0)))]
+            }
+            Op::Reshape(a, _) => vec![(*a, grad.reshape(v(a).shape().clone()))],
+            Op::ConcatRows(xs) => {
+                let c = value.ncols();
+                let mut out = Vec::with_capacity(xs.len());
+                let mut row = 0usize;
+                for id in xs.iter() {
+                    let r = tape.value(*id).nrows();
+                    let data = grad.data()[row * c..(row + r) * c].to_vec();
+                    out.push((*id, Tensor::from_vec(data, [r, c])));
+                    row += r;
+                }
+                out
+            }
+            Op::ConcatCols(xs) => {
+                let rows = value.nrows();
+                let mut out = Vec::with_capacity(xs.len());
+                let mut col = 0usize;
+                let total_c = value.ncols();
+                for id in xs.iter() {
+                    let c = tape.value(*id).ncols();
+                    let mut g = Tensor::zeros([rows, c]);
+                    for i in 0..rows {
+                        for j in 0..c {
+                            g.data_mut()[i * c + j] = grad.data()[i * total_c + col + j];
+                        }
+                    }
+                    out.push((*id, g));
+                    col += c;
+                }
+                out
+            }
+            Op::SliceRows(a, start, len) => {
+                let x = v(a);
+                let (r, c) = x.shape().as_matrix();
+                let mut g = Tensor::zeros([r, c]);
+                g.data_mut()[start * c..(start + len) * c].copy_from_slice(grad.data());
+                vec![(*a, g)]
+            }
+            Op::IndexSelect(a, idx) => {
+                let n = v(a).nrows();
+                vec![(*a, grad.scatter_add_rows(idx, n))]
+            }
+            Op::ScatterAddRows(a, idx, _) => vec![(*a, grad.index_select_rows(idx))],
+            Op::SegmentMax(a, seg, n) => {
+                vec![(*a, segment_extreme_backward(v(a), seg, *n, true, grad))]
+            }
+            Op::SegmentMin(a, seg, n) => {
+                vec![(*a, segment_extreme_backward(v(a), seg, *n, false, grad))]
+            }
+            Op::LogSoftmax(a) => {
+                // dx = g - softmax(x) * rowsum(g)
+                let (r, c) = value.shape().as_matrix();
+                let mut g = Tensor::zeros([r, c]);
+                for i in 0..r {
+                    let gs: f32 = grad.row(i).iter().sum();
+                    for j in 0..c {
+                        let p = value.at(i, j).exp();
+                        *g.at_mut(i, j) = grad.at(i, j) - p * gs;
+                    }
+                }
+                vec![(*a, g)]
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[inline]
+fn softplus(x: f32) -> f32 {
+    // log(1 + e^x) computed stably for large |x|.
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+fn sum_axis(x: &Tensor, axis: Axis) -> Tensor {
+    let (r, c) = x.shape().as_matrix();
+    match axis {
+        Axis::Rows => x.sum_rows(),
+        Axis::Cols => {
+            let mut out = Tensor::zeros([r]);
+            for i in 0..r {
+                out.data_mut()[i] = x.row(i).iter().sum();
+            }
+            let _ = c;
+            out
+        }
+    }
+}
+
+/// Spread a reduced vector gradient back over the matrix shape, scaled.
+fn spread_axis(grad: &Tensor, input_shape: &Shape, axis: Axis, scale: f32) -> Tensor {
+    let (r, c) = input_shape.as_matrix();
+    let mut out = Tensor::zeros([r, c]);
+    match axis {
+        Axis::Rows => {
+            debug_assert_eq!(grad.numel(), c);
+            for i in 0..r {
+                for j in 0..c {
+                    out.data_mut()[i * c + j] = grad.data()[j] * scale;
+                }
+            }
+        }
+        Axis::Cols => {
+            debug_assert_eq!(grad.numel(), r);
+            for i in 0..r {
+                for j in 0..c {
+                    out.data_mut()[i * c + j] = grad.data()[i] * scale;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols of zero tensors");
+    let r = parts[0].nrows();
+    let total_c: usize = parts.iter().map(|t| t.ncols()).sum();
+    let mut out = Tensor::zeros([r, total_c]);
+    let mut col = 0usize;
+    for p in parts {
+        assert_eq!(p.nrows(), r, "concat_cols row mismatch");
+        let c = p.ncols();
+        for i in 0..r {
+            for j in 0..c {
+                out.data_mut()[i * total_c + col + j] = p.at(i, j);
+            }
+        }
+        col += c;
+    }
+    out
+}
+
+/// Per-segment extreme over rows: `(values, argrows)`. Empty segments give 0
+/// and argrow `usize::MAX`. Tie-break: first row wins.
+fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor, Vec<usize>) {
+    let (r, c) = x.shape().as_matrix();
+    assert_eq!(r, seg.len(), "segment ids must cover every row");
+    let init = if is_max { f32::NEG_INFINITY } else { f32::INFINITY };
+    let mut vals = Tensor::full([n, c], init);
+    let mut args = vec![usize::MAX; n * c];
+    for (i, &s) in seg.iter().enumerate() {
+        assert!(s < n, "segment id {s} out of range {n}");
+        for j in 0..c {
+            let xv = x.at(i, j);
+            let cur = vals.at(s, j);
+            let better = if is_max { xv > cur } else { xv < cur };
+            if better {
+                *vals.at_mut(s, j) = xv;
+                args[s * c + j] = i;
+            }
+        }
+    }
+    // Empty segments: replace ±inf with 0.
+    for (k, v) in vals.data_mut().iter_mut().enumerate() {
+        if args[k] == usize::MAX {
+            *v = 0.0;
+        }
+    }
+    (vals, args)
+}
+
+fn segment_extreme_backward(
+    x: &Tensor,
+    seg: &[usize],
+    n: usize,
+    is_max: bool,
+    grad: &Tensor,
+) -> Tensor {
+    let (r, c) = x.shape().as_matrix();
+    let (_, args) = segment_extreme(x, seg, n, is_max);
+    let mut g = Tensor::zeros([r, c]);
+    for s in 0..n {
+        for j in 0..c {
+            let i = args[s * c + j];
+            if i != usize::MAX {
+                g.data_mut()[i * c + j] += grad.at(s, j);
+            }
+        }
+    }
+    g
+}
+
+fn log_softmax(x: &Tensor) -> Tensor {
+    let (r, c) = x.shape().as_matrix();
+    let mut out = Tensor::zeros([r, c]);
+    for i in 0..r {
+        let row = x.row(i);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for (j, &v) in row.iter().enumerate() {
+            out.data_mut()[i * c + j] = v - lse;
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------------------------
+// Builder methods on Tape
+// -------------------------------------------------------------------------
+
+impl Tape {
+    fn check_broadcast(&self, a: NodeId, b: NodeId, what: &str) {
+        assert!(
+            broadcast_shapes(self.shape(a), self.shape(b)).is_some(),
+            "{what}: incompatible shapes {} and {}",
+            self.shape(a),
+            self.shape(b)
+        );
+    }
+
+    /// Broadcasting element-wise addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check_broadcast(a, b, "add");
+        self.record(Op::Add(a, b))
+    }
+
+    /// Broadcasting element-wise subtraction.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check_broadcast(a, b, "sub");
+        self.record(Op::Sub(a, b))
+    }
+
+    /// Broadcasting element-wise multiplication.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check_broadcast(a, b, "mul");
+        self.record(Op::Mul(a, b))
+    }
+
+    /// Broadcasting element-wise division.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check_broadcast(a, b, "div");
+        self.record(Op::Div(a, b))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Neg(a))
+    }
+
+    /// Add a scalar constant to every element.
+    pub fn add_scalar(&mut self, a: NodeId, c: f32) -> NodeId {
+        self.record(Op::AddScalar(a, c))
+    }
+
+    /// Multiply every element by a scalar constant.
+    pub fn mul_scalar(&mut self, a: NodeId, c: f32) -> NodeId {
+        self.record(Op::MulScalar(a, c))
+    }
+
+    /// Raise every element to a scalar power.
+    pub fn pow_scalar(&mut self, a: NodeId, p: f32) -> NodeId {
+        self.record(Op::PowScalar(a, p))
+    }
+
+    /// Element-wise square (`pow_scalar(a, 2)` with an exact backward).
+    pub fn square(&mut self, a: NodeId) -> NodeId {
+        self.pow_scalar(a, 2.0)
+    }
+
+    /// Dense 2-D matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (_, k) = self.shape(a).as_matrix();
+        let (k2, _) = self.shape(b).as_matrix();
+        assert_eq!(k, k2, "matmul: inner dims {} vs {}", self.shape(a), self.shape(b));
+        self.record(Op::Matmul(a, b))
+    }
+
+    /// 2-D transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Transpose(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Tanh(a))
+    }
+
+    /// Element-wise cosine.
+    pub fn cos(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Cos(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Exp(a))
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn log(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Log(a))
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Sqrt(a))
+    }
+
+    /// Numerically stable softplus.
+    pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Softplus(a))
+    }
+
+    /// Sum all elements to a scalar node.
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Sum(a))
+    }
+
+    /// Mean of all elements to a scalar node.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        self.record(Op::Mean(a))
+    }
+
+    /// Sum a matrix along `axis` to a vector.
+    pub fn sum_axis(&mut self, a: NodeId, axis: Axis) -> NodeId {
+        self.record(Op::SumAxis(a, axis))
+    }
+
+    /// Mean of a matrix along `axis` to a vector.
+    pub fn mean_axis(&mut self, a: NodeId, axis: Axis) -> NodeId {
+        self.record(Op::MeanAxis(a, axis))
+    }
+
+    /// Reshape preserving element order.
+    pub fn reshape(&mut self, a: NodeId, shape: impl Into<Shape>) -> NodeId {
+        let shape = shape.into();
+        assert_eq!(self.shape(a).numel(), shape.numel(), "reshape numel mismatch");
+        self.record(Op::Reshape(a, shape))
+    }
+
+    /// Vertical concatenation of matrices.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        self.record(Op::ConcatRows(Rc::new(parts.to_vec())))
+    }
+
+    /// Horizontal concatenation of matrices.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        self.record(Op::ConcatCols(Rc::new(parts.to_vec())))
+    }
+
+    /// Contiguous row slice `[start, start+len)`.
+    pub fn slice_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        self.record(Op::SliceRows(a, start, len))
+    }
+
+    /// Row gather by index list.
+    pub fn index_select(&mut self, a: NodeId, indices: Rc<Vec<usize>>) -> NodeId {
+        self.record(Op::IndexSelect(a, indices))
+    }
+
+    /// Row scatter-add into `num_rows` rows.
+    pub fn scatter_add_rows(
+        &mut self,
+        a: NodeId,
+        indices: Rc<Vec<usize>>,
+        num_rows: usize,
+    ) -> NodeId {
+        self.record(Op::ScatterAddRows(a, indices, num_rows))
+    }
+
+    /// Per-segment sum over rows (alias of scatter-add keyed by segment id).
+    pub fn segment_sum(&mut self, a: NodeId, seg: Rc<Vec<usize>>, num_segments: usize) -> NodeId {
+        self.scatter_add_rows(a, seg, num_segments)
+    }
+
+    /// Per-segment mean over rows. Empty segments produce zero rows.
+    pub fn segment_mean(&mut self, a: NodeId, seg: Rc<Vec<usize>>, num_segments: usize) -> NodeId {
+        let sums = self.segment_sum(a, seg.clone(), num_segments);
+        let mut counts = vec![0f32; num_segments];
+        for &s in seg.iter() {
+            counts[s] += 1.0;
+        }
+        for c in &mut counts {
+            if *c == 0.0 {
+                *c = 1.0;
+            }
+        }
+        let counts = self.constant(Tensor::from_vec(counts, [num_segments, 1]));
+        self.div(sums, counts)
+    }
+
+    /// Per-segment max over rows.
+    pub fn segment_max(&mut self, a: NodeId, seg: Rc<Vec<usize>>, num_segments: usize) -> NodeId {
+        self.record(Op::SegmentMax(a, seg, num_segments))
+    }
+
+    /// Per-segment min over rows.
+    pub fn segment_min(&mut self, a: NodeId, seg: Rc<Vec<usize>>, num_segments: usize) -> NodeId {
+        self.record(Op::SegmentMin(a, seg, num_segments))
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        assert!(self.shape(a).is_matrix(), "log_softmax expects a matrix");
+        self.record(Op::LogSoftmax(a))
+    }
+
+    /// Row-wise softmax (via `exp(log_softmax)` for numerical stability).
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let ls = self.log_softmax(a);
+        self.exp(ls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn forward_values() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(t(vec![1., 2., 3., 4.], [2, 2]));
+        let b = tp.leaf(t(vec![5., 6., 7., 8.], [2, 2]));
+        let sum = tp.add(a, b);
+        assert_eq!(tp.value(sum).data(), &[6., 8., 10., 12.]);
+        let m = tp.matmul(a, b);
+        assert_eq!(tp.value(m).data(), &[19., 22., 43., 50.]);
+        let x = tp.leaf(t(vec![-1., 2.], [2]));
+        let r = tp.relu(x);
+        assert_eq!(tp.value(r).data(), &[0., 2.]);
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(t(vec![1., 2., 3., 4., 5., 6.], [2, 3]));
+        let b = tp.leaf(t(vec![1., 0., 0., 1., 1., 1.], [3, 2]));
+        let m = tp.matmul(a, b);
+        let s = tp.sum(m);
+        let g = tp.backward(s);
+        // d/dA sum(AB) = 1 * B^T rows summed -> each row of gA is colsum of B rows
+        assert_eq!(g.get(a).unwrap().data(), &[1., 1., 2., 1., 1., 2.]);
+        assert_eq!(g.get(b).unwrap().data(), &[5., 5., 7., 7., 9., 9.]);
+    }
+
+    #[test]
+    fn broadcast_bias_grad_sums_over_rows() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4., 5., 6.], [2, 3]));
+        let b = tp.leaf(t(vec![0.1, 0.2, 0.3], [3]));
+        let y = tp.add(x, b);
+        let s = tp.sum(y);
+        let g = tp.backward(s);
+        assert_eq!(g.get(b).unwrap().data(), &[2., 2., 2.]);
+        assert_eq!(g.get(x).unwrap().data(), &[1.; 6]);
+    }
+
+    #[test]
+    fn column_weight_grad() {
+        // z = w ⊙ x with w of shape [n,1]: dz/dw sums over cols.
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4.], [2, 2]));
+        let w = tp.leaf(t(vec![2., 3.], [2, 1]));
+        let z = tp.mul(x, w);
+        let s = tp.sum(z);
+        let g = tp.backward(s);
+        assert_eq!(g.get(w).unwrap().data(), &[3., 7.]);
+    }
+
+    #[test]
+    fn div_grads() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(t(vec![4.0], [1]));
+        let b = tp.leaf(t(vec![2.0], [1]));
+        let y = tp.div(a, b);
+        let g = tp.backward(y);
+        assert!((g.get(a).unwrap().data()[0] - 0.5).abs() < 1e-6);
+        assert!((g.get(b).unwrap().data()[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_forward() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![0.0], [1]));
+        let s = tp.sigmoid(x);
+        assert!((tp.value(s).data()[0] - 0.5).abs() < 1e-6);
+        let c = tp.cos(x);
+        assert!((tp.value(c).data()[0] - 1.0).abs() < 1e-6);
+        let sp = tp.softplus(x);
+        assert!((tp.value(sp).data()[0] - 2f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_extremes_are_stable() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![50.0, -50.0], [2]));
+        let y = tp.softplus(x);
+        assert!((tp.value(y).data()[0] - 50.0).abs() < 1e-3);
+        assert!(tp.value(y).data()[1].abs() < 1e-6);
+        let s = tp.sum(y);
+        let g = tp.backward(s);
+        assert!(g.get(x).unwrap().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cos_grad() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1.0], [1]));
+        let y = tp.cos(x);
+        let g = tp.backward(y);
+        assert!((g.get(x).unwrap().data()[0] + 1f32.sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_axis_and_back() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4., 5., 6.], [2, 3]));
+        let r = tp.sum_axis(x, Axis::Rows);
+        assert_eq!(tp.value(r).data(), &[5., 7., 9.]);
+        let c = tp.sum_axis(x, Axis::Cols);
+        assert_eq!(tp.value(c).data(), &[6., 15.]);
+        let s = tp.sum(c);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[1.; 6]);
+    }
+
+    #[test]
+    fn mean_axis_grads_scale() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4., 5., 6.], [2, 3]));
+        let m = tp.mean_axis(x, Axis::Rows);
+        assert_eq!(tp.value(m).data(), &[2.5, 3.5, 4.5]);
+        let s = tp.sum(m);
+        let g = tp.backward(s);
+        assert!(g.get(x).unwrap().data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn concat_rows_splits_grad() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(t(vec![1., 2.], [1, 2]));
+        let b = tp.leaf(t(vec![3., 4., 5., 6.], [2, 2]));
+        let cat = tp.concat_rows(&[a, b]);
+        assert_eq!(tp.value(cat).shape().dims(), &[3, 2]);
+        let w = tp.constant(t(vec![1., 10., 100., 1000., 2., 20.], [3, 2]));
+        let p = tp.mul(cat, w);
+        let s = tp.sum(p);
+        let g = tp.backward(s);
+        assert_eq!(g.get(a).unwrap().data(), &[1., 10.]);
+        assert_eq!(g.get(b).unwrap().data(), &[100., 1000., 2., 20.]);
+    }
+
+    #[test]
+    fn concat_cols_splits_grad() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(t(vec![1., 2.], [2, 1]));
+        let b = tp.leaf(t(vec![3., 4., 5., 6.], [2, 2]));
+        let cat = tp.concat_cols(&[a, b]);
+        assert_eq!(tp.value(cat).shape().dims(), &[2, 3]);
+        assert_eq!(tp.value(cat).data(), &[1., 3., 4., 2., 5., 6.]);
+        let w = tp.constant(t(vec![1., 2., 3., 4., 5., 6.], [2, 3]));
+        let p = tp.mul(cat, w);
+        let s = tp.sum(p);
+        let g = tp.backward(s);
+        assert_eq!(g.get(a).unwrap().data(), &[1., 4.]);
+        assert_eq!(g.get(b).unwrap().data(), &[2., 3., 5., 6.]);
+    }
+
+    #[test]
+    fn slice_rows_grad_zero_pads() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4., 5., 6.], [3, 2]));
+        let sl = tp.slice_rows(x, 1, 1);
+        assert_eq!(tp.value(sl).data(), &[3., 4.]);
+        let s = tp.sum(sl);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[0., 0., 1., 1., 0., 0.]);
+    }
+
+    #[test]
+    fn index_select_grad_scatters() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4.], [2, 2]));
+        let sel = tp.index_select(x, Rc::new(vec![1, 1, 0]));
+        assert_eq!(tp.value(sel).data(), &[3., 4., 3., 4., 1., 2.]);
+        let s = tp.sum(sel);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn scatter_add_grad_gathers() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 4.], [2, 2]));
+        let sc = tp.scatter_add_rows(x, Rc::new(vec![1, 1]), 3);
+        assert_eq!(tp.value(sc).data(), &[0., 0., 4., 6., 0., 0.]);
+        let w = tp.constant(t(vec![1., 1., 5., 7., 1., 1.], [3, 2]));
+        let p = tp.mul(sc, w);
+        let s = tp.sum(p);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[5., 7., 5., 7.]);
+    }
+
+    #[test]
+    fn segment_mean_divides_by_counts() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![2., 4., 6., 8., 10., 12.], [3, 2]));
+        let m = tp.segment_mean(x, Rc::new(vec![0, 0, 1]), 2);
+        assert_eq!(tp.value(m).data(), &[4., 6., 10., 12.]);
+        let s = tp.sum(m);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[0.5, 0.5, 0.5, 0.5, 1., 1.]);
+    }
+
+    #[test]
+    fn segment_max_routes_grad_to_argmax() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 9., 5., 2., 7., 3.], [3, 2]));
+        let m = tp.segment_max(x, Rc::new(vec![0, 0, 0]), 1);
+        assert_eq!(tp.value(m).data(), &[7., 9.]);
+        let s = tp.sum(m);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[0., 1., 0., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn segment_min_and_empty_segments() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![3., -1.], [2, 1]));
+        let m = tp.segment_min(x, Rc::new(vec![0, 0]), 2);
+        assert_eq!(tp.value(m).data(), &[-1., 0.]); // segment 1 empty -> 0
+        let s = tp.sum(m);
+        let g = tp.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[0., 1.]);
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_in_prob_space() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3., 1000., 1000., 1000.], [2, 3]));
+        let ls = tp.log_softmax(x);
+        let p = tp.value(ls).map(f32::exp);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {i} sums to {s}");
+        }
+        // Numerical stability: no NaNs for large logits.
+        assert!(!tp.value(ls).has_non_finite());
+    }
+
+    #[test]
+    fn log_softmax_grad_formula() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![0.5, -0.2, 0.1], [1, 3]));
+        let ls = tp.log_softmax(x);
+        // pick element 0 as "correct class": loss = -ls[0,0]
+        let mask = tp.constant(t(vec![-1., 0., 0.], [1, 3]));
+        let l = tp.mul(ls, mask);
+        let s = tp.sum(l);
+        let g = tp.backward(s);
+        let gx = g.get(x).unwrap();
+        // grad = p - onehot
+        let p = tp.value(ls).map(f32::exp);
+        assert!((gx.data()[0] - (p.data()[0] - 1.0)).abs() < 1e-5);
+        assert!((gx.data()[1] - p.data()[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_matches_exp_log_softmax() {
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(vec![1., 2., 3.], [1, 3]));
+        let sm = tp.softmax(x);
+        let total: f32 = tp.value(sm).data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn add_rejects_bad_shapes() {
+        let mut tp = Tape::new();
+        let a = tp.leaf(Tensor::zeros([2, 3]));
+        let b = tp.leaf(Tensor::zeros([3, 2]));
+        let _ = tp.add(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! The Adam optimizer.
+
+use super::{clip_grad, Optimizer};
+use crate::nn::Param;
+use crate::tape::Gradients;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+struct Moments {
+    m: Tensor,
+    v: Tensor,
+    t: u64,
+}
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay and gradient
+/// clipping; the default optimizer for every model in this workspace, as in
+/// the paper's implementation details (learning rate 1e-4 / 1e-3).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    max_grad_norm: f32,
+    state: HashMap<u64, Moments>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            max_grad_norm: 0.0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Enable decoupled weight decay (AdamW-style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Enable per-parameter gradient-norm clipping.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.max_grad_norm = max_norm;
+        self
+    }
+
+    /// Override betas.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<&mut Param>, grads: &Gradients) {
+        for p in params {
+            let Some(node) = p.bound_node() else { continue };
+            let Some(g) = grads.get(node) else {
+                p.clear_binding();
+                continue;
+            };
+            let g = clip_grad(g, self.max_grad_norm);
+            let st = self.state.entry(p.key()).or_insert_with(|| Moments {
+                m: Tensor::zeros(p.value.shape().clone()),
+                v: Tensor::zeros(p.value.shape().clone()),
+                t: 0,
+            });
+            st.t += 1;
+            let b1 = self.beta1;
+            let b2 = self.beta2;
+            st.m = st.m.mul_scalar(b1).add(&g.mul_scalar(1.0 - b1));
+            let g2 = g.map(|x| x * x);
+            st.v = st.v.mul_scalar(b2).add(&g2.mul_scalar(1.0 - b2));
+            let bc1 = 1.0 - b1.powi(st.t as i32);
+            let bc2 = 1.0 - b2.powi(st.t as i32);
+            let eps = self.eps;
+            let lr = self.lr;
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let pv = p.value.clone();
+                p.value.axpy(-lr * wd, &pv);
+            }
+            for i in 0..p.value.numel() {
+                let mhat = st.m.data()[i] / bc1;
+                let vhat = st.v.data()[i] / bc2;
+                p.value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.clear_binding();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::tape::Tape;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut p = Param::new(Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let x = p.bind(&mut tape);
+            let c = tape.constant(Tensor::scalar(3.0));
+            let d = tape.sub(x, c);
+            let loss = tape.square(d);
+            let g = tape.backward(loss);
+            opt.step(vec![&mut p], &g);
+        }
+        assert!((p.value.item() - 3.0).abs() < 1e-2, "{}", p.value.item());
+    }
+
+    #[test]
+    fn fits_linear_regression() {
+        // y = 2x + 1 ; fit w, b.
+        let mut rng = Rng::seed_from(1);
+        let xs = Tensor::randn([64, 1], &mut rng);
+        let ys = xs.mul_scalar(2.0).add_scalar(1.0);
+        let mut w = Param::new(Tensor::zeros([1, 1]));
+        let mut b = Param::new(Tensor::zeros([1]));
+        let mut opt = Adam::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let wid = w.bind(&mut tape);
+            let bid = b.bind(&mut tape);
+            let wx = tape.matmul(x, wid);
+            let pred = tape.add(wx, bid);
+            let y = tape.constant(ys.clone());
+            let d = tape.sub(pred, y);
+            let sq = tape.square(d);
+            let loss = tape.mean(sq);
+            last = tape.value(loss).item();
+            let g = tape.backward(loss);
+            opt.step(vec![&mut w, &mut b], &g);
+        }
+        assert!(last < 1e-3, "final loss {last}");
+        assert!((w.value.item() - 2.0).abs() < 0.05);
+        assert!((b.value.item() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn learning_rate_setter() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut p = Param::new(Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.01).with_weight_decay(0.1);
+        for _ in 0..10 {
+            let mut tape = Tape::new();
+            let x = p.bind(&mut tape);
+            let z = tape.mul_scalar(x, 0.0);
+            let g = tape.backward(z);
+            opt.step(vec![&mut p], &g);
+        }
+        assert!(p.value.item() < 1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Optimizers: SGD (with momentum) and Adam, plus gradient clipping.
+//!
+//! Optimizers update [`crate::nn::Param`]s from the gradients of
+//! their most recently bound tape nodes; per-parameter state (momentum
+//! buffers, Adam moments) is keyed by the parameter's stable key, so the
+//! same optimizer instance tracks parameters across training steps even
+//! though each step uses a fresh tape.
+
+mod adam;
+mod schedule;
+mod sgd;
+
+pub use adam::Adam;
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;
+
+use crate::nn::Param;
+use crate::tape::Gradients;
+use crate::tensor::Tensor;
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Apply one update step to `params` using `grads` (from the current
+    /// tape's backward pass). Parameters that were never bound or received
+    /// no gradient are skipped. Bindings are cleared after the step.
+    fn step(&mut self, params: Vec<&mut Param>, grads: &Gradients);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Clip a gradient to a maximum L2 norm; returns the (possibly scaled)
+/// gradient. A `max_norm` of 0 disables clipping.
+pub fn clip_grad(grad: &Tensor, max_norm: f32) -> Tensor {
+    if max_norm <= 0.0 {
+        return grad.clone();
+    }
+    let norm = grad.norm();
+    if norm > max_norm {
+        grad.mul_scalar(max_norm / norm)
+    } else {
+        grad.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let g = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        let c = clip_grad(&g, 1.0);
+        assert!((c.norm() - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((c.data()[0] / c.data()[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients() {
+        let g = Tensor::from_vec(vec![0.3, 0.4], [2]);
+        let c = clip_grad(&g, 1.0);
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn clip_zero_disables() {
+        let g = Tensor::from_vec(vec![30.0, 40.0], [2]);
+        let c = clip_grad(&g, 0.0);
+        assert_eq!(c, g);
+    }
+}

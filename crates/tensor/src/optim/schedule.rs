@@ -1,0 +1,123 @@
+//! Learning-rate schedules.
+
+use super::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the
+/// base learning rate.
+#[derive(Debug, Clone)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `step` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        step: usize,
+        /// Decay factor per step.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `min_factor` over `total` epochs.
+    Cosine {
+        /// Total epochs of the schedule.
+        total: usize,
+        /// Final multiplier.
+        min_factor: f32,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Warmup length in epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `epoch` (0-indexed).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { step, gamma } => {
+                let k = if *step == 0 { 0 } else { epoch / step };
+                gamma.powi(k as i32)
+            }
+            LrSchedule::Cosine { total, min_factor } => {
+                if *total == 0 {
+                    return 1.0;
+                }
+                let t = (epoch as f32 / *total as f32).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                min_factor + (1.0 - min_factor) * cos
+            }
+            LrSchedule::Warmup { warmup } => {
+                if *warmup == 0 || epoch >= *warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / *warmup as f32
+                }
+            }
+        }
+    }
+
+    /// Apply the scheduled rate for `epoch` to an optimizer, given its base
+    /// learning rate.
+    pub fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_learning_rate(base_lr * self.factor(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(99), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { step: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { total: 100, min_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!((s.factor(200) - 0.1).abs() < 1e-6); // clamped past the end
+        let mid = s.factor(50);
+        assert!(mid > 0.1 && mid < 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(10), 1.0);
+    }
+
+    #[test]
+    fn apply_sets_optimizer_rate() {
+        let mut opt = Sgd::new(0.1);
+        let s = LrSchedule::StepDecay { step: 5, gamma: 0.1 };
+        s.apply(&mut opt, 0.1, 5);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn monotone_cosine() {
+        let s = LrSchedule::Cosine { total: 50, min_factor: 0.0 };
+        let mut prev = f32::MAX;
+        for e in 0..=50 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use super::{clip_grad, Optimizer};
+use crate::nn::Param;
+use crate::tape::Gradients;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// SGD with optional (heavy-ball) momentum, decoupled weight decay and
+/// gradient-norm clipping.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    max_grad_norm: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, max_grad_norm: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Enable heavy-ball momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enable decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Enable per-parameter gradient-norm clipping.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.max_grad_norm = max_norm;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<&mut Param>, grads: &Gradients) {
+        for p in params {
+            let Some(node) = p.bound_node() else { continue };
+            let Some(g) = grads.get(node) else {
+                p.clear_binding();
+                continue;
+            };
+            let mut g = clip_grad(g, self.max_grad_norm);
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.key())
+                    .or_insert_with(|| Tensor::zeros(p.value.shape().clone()));
+                *v = v.mul_scalar(self.momentum).add(&g);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &g);
+            }
+            p.clear_binding();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimize (x-3)^2 with SGD; must converge to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let x = p.bind(&mut tape);
+            let c = tape.constant(Tensor::scalar(3.0));
+            let d = tape.sub(x, c);
+            let loss = tape.square(d);
+            let g = tape.backward(loss);
+            opt.step(vec![&mut p], &g);
+        }
+        assert!((p.value.item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut p = Param::new(Tensor::scalar(0.0));
+            let mut opt = Sgd::new(0.01).with_momentum(momentum);
+            for _ in 0..50 {
+                let mut tape = Tape::new();
+                let x = p.bind(&mut tape);
+                let c = tape.constant(Tensor::scalar(3.0));
+                let d = tape.sub(x, c);
+                let loss = tape.square(d);
+                let g = tape.backward(loss);
+                opt.step(vec![&mut p], &g);
+            }
+            (p.value.item() - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = Param::new(Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        // Loss is constant zero wrt x through a detached path: use loss = 0*x.
+        let mut tape = Tape::new();
+        let x = p.bind(&mut tape);
+        let z = tape.mul_scalar(x, 0.0);
+        let g = tape.backward(z);
+        opt.step(vec![&mut p], &g);
+        assert!(p.value.item() < 1.0);
+    }
+
+    #[test]
+    fn unbound_params_are_skipped() {
+        let mut p = Param::new(Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.1);
+        let tape = Tape::new();
+        let mut t2 = Tape::new();
+        let dummy = t2.leaf(Tensor::scalar(0.0));
+        let g = t2.backward(dummy);
+        let _ = tape;
+        opt.step(vec![&mut p], &g);
+        assert_eq!(p.value.item(), 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic random-number utilities.
+//!
+//! Wraps `rand::rngs::SmallRng` and adds the distributions the workspace
+//! needs (standard normal via Box–Muller, uniform ranges, permutations,
+//! categorical choice) without pulling in `rand_distr`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A deterministic RNG seeded from a `u64`. Every generator and trainer in
+/// the workspace takes one of these so experiments are reproducible.
+pub struct Rng {
+    inner: SmallRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng { inner: SmallRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derive a child RNG with a decorrelated stream; useful for giving each
+    /// sub-component (dataset shard, model init, dropout) its own stream.
+    pub fn fork(&mut self, salt: u64) -> Rng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng::seed_from(s)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.unit() < p
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample an index from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if weights are empty or sum to zero/negative.
+    pub fn choose_weighted(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "choose_weighted: non-positive total weight");
+        let mut x = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Choose `k` distinct indices from `0..n` (k ≤ n), in random order.
+    pub fn choose_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "choose_distinct: k={k} > n={n}");
+        let mut p = self.permutation(n);
+        p.truncate(k);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(99);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_permutation() {
+        let mut rng = Rng::seed_from(3);
+        let p = rng.permutation(100);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = Rng::seed_from(5);
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[rng.choose_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > 2 * counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn choose_distinct_is_distinct() {
+        let mut rng = Rng::seed_from(11);
+        let picks = rng.choose_distinct(10, 5);
+        assert_eq!(picks.len(), 5);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut rng = Rng::seed_from(13);
+        for _ in 0..1000 {
+            let x = rng.range_inclusive(4, 25);
+            assert!((4..=25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut base = Rng::seed_from(42);
+        let mut a = base.fork(1);
+        let mut b = base.fork(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Shapes, strides and NumPy-style broadcasting rules.
+
+use std::fmt;
+
+/// The shape of a tensor: a list of dimension sizes, row-major.
+///
+/// A scalar is represented by the empty shape `[]` (one element). Shapes are
+/// cheap to clone (they are almost always rank ≤ 2 in this workspace).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Construct a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.rank()];
+        let mut acc = 1usize;
+        for i in (0..self.rank()).rev() {
+            strides[i] = acc;
+            acc *= self.0[i];
+        }
+        strides
+    }
+
+    /// True if the shape describes a 2-D matrix.
+    pub fn is_matrix(&self) -> bool {
+        self.rank() == 2
+    }
+
+    /// For a matrix shape, its `(rows, cols)`.
+    ///
+    /// # Panics
+    /// Panics if the shape is not rank 2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert!(self.is_matrix(), "expected rank-2 shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Compute the broadcast result shape of two shapes under NumPy rules:
+/// dimensions are aligned from the right; each pair must be equal or one of
+/// them must be 1. Returns `None` if the shapes are incompatible.
+pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Option<Shape> {
+    let ra = a.rank();
+    let rb = b.rank();
+    let r = ra.max(rb);
+    let mut out = Vec::with_capacity(r);
+    for i in 0..r {
+        let da = if i < r - ra { 1 } else { a.0[i - (r - ra)] };
+        let db = if i < r - rb { 1 } else { b.0[i - (r - rb)] };
+        if da == db || da == 1 || db == 1 {
+            out.push(da.max(db));
+        } else {
+            return None;
+        }
+    }
+    Some(Shape(out))
+}
+
+/// An iterator-free index mapper used to evaluate broadcast binary ops:
+/// maps a linear index in the broadcast output shape to linear indices in
+/// each input.
+pub(crate) struct BroadcastMap {
+    /// For each output dim: (out_stride, a_stride, b_stride). A stride of 0
+    /// means the input is broadcast along that dim.
+    dims: Vec<(usize, usize, usize)>,
+}
+
+impl BroadcastMap {
+    pub(crate) fn new(a: &Shape, b: &Shape, out: &Shape) -> Self {
+        let r = out.rank();
+        let ra = a.rank();
+        let rb = b.rank();
+        let sa = a.strides();
+        let sb = b.strides();
+        let so = out.strides();
+        let mut dims = Vec::with_capacity(r);
+        for i in 0..r {
+            let da = if i < r - ra { 1 } else { a.0[i - (r - ra)] };
+            let db = if i < r - rb { 1 } else { b.0[i - (r - rb)] };
+            let stride_a = if i < r - ra || da == 1 { 0 } else { sa[i - (r - ra)] };
+            let stride_b = if i < r - rb || db == 1 { 0 } else { sb[i - (r - rb)] };
+            dims.push((so[i], stride_a, stride_b));
+        }
+        BroadcastMap { dims }
+    }
+
+    /// Map a linear output index to `(a_index, b_index)`.
+    #[inline]
+    pub(crate) fn map(&self, mut out_idx: usize) -> (usize, usize) {
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        for &(so, sa, sb) in &self.dims {
+            let Some(coord) = out_idx.checked_div(so) else { continue };
+            out_idx -= coord * so;
+            ia += coord * sa;
+            ib += coord * sb;
+        }
+        (ia, ib)
+    }
+}
+
+/// Given a gradient tensor shaped like the broadcast output, sum it back down
+/// to `target` shape (the shape of one of the broadcast inputs). Used by the
+/// backward pass of every broadcasting binary op.
+pub(crate) fn reduce_grad_to(grad: &crate::Tensor, target: &Shape) -> crate::Tensor {
+    if grad.shape() == target {
+        return grad.clone();
+    }
+    let gs = grad.shape().clone();
+    let r = gs.rank();
+    let rt = target.rank();
+    let mut out = crate::Tensor::zeros(target.clone());
+    let g_strides = gs.strides();
+    let t_strides = target.strides();
+    let n = gs.numel();
+    for lin in 0..n {
+        // Decompose `lin` into coordinates of the grad shape and fold the
+        // coordinate into the target index, treating missing/size-1 target
+        // dims as broadcast (stride 0).
+        let mut rem = lin;
+        let mut ti = 0usize;
+        for (i, &gs) in g_strides.iter().enumerate() {
+            let coord = rem.checked_div(gs).unwrap_or(0);
+            rem -= coord * gs;
+            if i >= r - rt {
+                let td = i - (r - rt);
+                if target.0[td] != 1 {
+                    ti += coord * t_strides[td];
+                }
+            }
+        }
+        out.data_mut()[ti] += grad.data()[lin];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::new(&[3, 4]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.numel(), 12);
+        assert_eq!(s.strides(), vec![4, 1]);
+        assert_eq!(s.as_matrix(), (3, 4));
+        assert!(s.is_matrix());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn broadcast_equal() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[2, 3])));
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::new(&[3]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[4, 3])));
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::new(&[4, 1]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[4, 3])));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::scalar();
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[4, 3])));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(broadcast_shapes(&a, &b), None);
+    }
+
+    #[test]
+    fn broadcast_map_column() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[2, 1]);
+        let out = broadcast_shapes(&a, &b).unwrap();
+        let m = BroadcastMap::new(&a, &b, &out);
+        // out index 4 = (row 1, col 1) -> a idx 4, b idx 1
+        assert_eq!(m.map(4), (4, 1));
+        assert_eq!(m.map(0), (0, 0));
+        assert_eq!(m.map(5), (5, 1));
+    }
+
+    #[test]
+    fn reduce_grad_row_vector() {
+        // grad of shape [2,3] reduced to [3] sums over rows.
+        let g = crate::Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let r = reduce_grad_to(&g, &Shape::new(&[3]));
+        assert_eq!(r.data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn reduce_grad_column_vector() {
+        let g = crate::Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let r = reduce_grad_to(&g, &Shape::new(&[2, 1]));
+        assert_eq!(r.data(), &[6., 15.]);
+    }
+
+    #[test]
+    fn reduce_grad_scalar() {
+        let g = crate::Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]);
+        let r = reduce_grad_to(&g, &Shape::scalar());
+        assert_eq!(r.data(), &[10.]);
+    }
+}

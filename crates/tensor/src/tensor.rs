@@ -1,0 +1,581 @@
+//! The dense, row-major `f32` tensor type and its eager (non-autodiff) ops.
+
+use crate::rng::Rng;
+use crate::shape::{broadcast_shapes, BroadcastMap, Shape};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// All autodiff flows through [`crate::Tape`]; `Tensor` itself is the plain
+/// value type with eager operations used both by the tape internals and by
+/// non-differentiable code (data generation, metrics, weight projection).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Build a tensor from a flat row-major buffer and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { data: vec![v], shape: Shape::scalar() }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor of the given shape.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![v; shape.numel()], shape }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Tensor with entries drawn i.i.d. from `N(0, 1)`.
+    pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor { data, shape }
+    }
+
+    /// Tensor with entries drawn i.i.d. from `Uniform(lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { data, shape }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        self.data[0]
+    }
+
+    /// Matrix element accessor.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        let (_, c) = self.shape.as_matrix();
+        self.data[row * c + col]
+    }
+
+    /// Mutable matrix element accessor.
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f32 {
+        let (_, c) = self.shape.as_matrix();
+        &mut self.data[row * c + col]
+    }
+
+    /// A row of a matrix as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (_, c) = self.shape.as_matrix();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Number of rows of a matrix.
+    pub fn nrows(&self) -> usize {
+        self.shape.as_matrix().0
+    }
+
+    /// Number of columns of a matrix.
+    pub fn ncols(&self) -> usize {
+        self.shape.as_matrix().1
+    }
+
+    // ----------------------------------------------------------- reshaping
+
+    /// Return a tensor with the same data and a new shape (numel must match).
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(self.numel(), shape.numel(), "reshape {} -> {shape}", self.shape);
+        Tensor { data: self.data.clone(), shape }
+    }
+
+    /// Transpose of a 2-D matrix.
+    pub fn transpose(&self) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        let mut out = Tensor::zeros([c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------- element-wise
+
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Broadcasting binary op: `f(a, b)` with NumPy broadcast semantics.
+    ///
+    /// # Panics
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            // Fast path: same shape, no index mapping.
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor { data, shape: self.shape.clone() };
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("incompatible broadcast: {} vs {}", self.shape, other.shape)
+        });
+        let map = BroadcastMap::new(&self.shape, &other.shape, &out_shape);
+        let n = out_shape.numel();
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let (ia, ib) = map.map(i);
+            data.push(f(self.data[ia], other.data[ib]));
+        }
+        Tensor { data, shape: out_shape }
+    }
+
+    /// Element-wise (broadcasting) addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a + b)
+    }
+
+    /// Element-wise (broadcasting) subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a - b)
+    }
+
+    /// Element-wise (broadcasting) multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a * b)
+    }
+
+    /// Element-wise (broadcasting) division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a / b)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn mul_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// In-place `self += alpha * other` (same shapes).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum over axis 0 of a matrix, producing a row vector of shape `[cols]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        let mut out = Tensor::zeros([c]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j] += self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Mean over axis 0 of a matrix, shape `[cols]`.
+    pub fn mean_rows(&self) -> Tensor {
+        let (r, _) = self.shape.as_matrix();
+        let mut s = self.sum_rows();
+        if r > 0 {
+            s.map_inplace(|x| x / r as f32);
+        }
+        s
+    }
+
+    /// Index of the maximum entry within each row of a matrix.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (r, c) = self.shape.as_matrix();
+        (0..r)
+            .map(|i| {
+                let row = &self.data[i * c..(i + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Squared Frobenius norm (sum of squares of all elements).
+    pub fn frobenius_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.frobenius_sq().sqrt()
+    }
+
+    // -------------------------------------------------------------- matmul
+
+    /// Dense matrix multiplication `self @ other` for rank-2 tensors.
+    ///
+    /// Uses i-k-j loop order for cache-friendly access; adequate for the
+    /// hidden sizes used in this workspace (≤ a few hundred).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape.as_matrix();
+        let (k2, n) = other.shape.as_matrix();
+        assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape, other.shape);
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    // --------------------------------------------------------- row select
+
+    /// Gather rows: `out[i] = self[indices[i]]`.
+    pub fn index_select_rows(&self, indices: &[usize]) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        let mut out = Tensor::zeros([indices.len(), c]);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < r, "index {idx} out of range for {r} rows");
+            out.data[i * c..(i + 1) * c].copy_from_slice(&self.data[idx * c..(idx + 1) * c]);
+        }
+        out
+    }
+
+    /// Scatter-add rows: `out[indices[i]] += self[i]`, with `num_rows` output
+    /// rows.
+    pub fn scatter_add_rows(&self, indices: &[usize], num_rows: usize) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        assert_eq!(r, indices.len(), "scatter_add rows/indices mismatch");
+        let mut out = Tensor::zeros([num_rows, c]);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < num_rows, "index {idx} out of range for {num_rows} rows");
+            for j in 0..c {
+                out.data[idx * c + j] += self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Vertically stack matrices with identical column counts.
+    pub fn vcat(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vcat of zero tensors");
+        let c = parts[0].ncols();
+        let total: usize = parts.iter().map(|t| t.nrows()).sum();
+        let mut data = Vec::with_capacity(total * c);
+        for p in parts {
+            assert_eq!(p.ncols(), c, "vcat column mismatch");
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(data, [total, c])
+    }
+
+    /// Select a subset of columns of a matrix, in the given order.
+    pub fn select_cols(&self, cols: &[usize]) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        let mut out = Tensor::zeros([r, cols.len()]);
+        for i in 0..r {
+            for (k, &j) in cols.iter().enumerate() {
+                assert!(j < c, "column {j} out of range {c}");
+                out.data[i * cols.len() + k] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Extract a column of a matrix as a `[rows]` vector.
+    pub fn col(&self, j: usize) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        assert!(j < c);
+        let data = (0..r).map(|i| self.data[i * c + j]).collect();
+        Tensor::from_vec(data, [r])
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(f, "[{} elements])", self.numel())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full([2, 2], 3.5);
+        assert_eq!(f.mean(), 3.5);
+        let e = Tensor::eye(3);
+        assert_eq!(e.sum(), 3.0);
+        assert_eq!(e.at(1, 1), 1.0);
+        assert_eq!(e.at(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_shape_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn randn_stats() {
+        let mut rng = Rng::seed_from(42);
+        let t = Tensor::randn([10_000], &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]);
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], [2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn([3, 3], &mut rng);
+        let i = Tensor::eye(3);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-6);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let b = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], [3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[4., 5., 10., 11.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let at = a.transpose();
+        assert_eq!(at.shape().dims(), &[3, 2]);
+        assert_eq!(at.at(0, 1), 4.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let b = Tensor::from_vec(vec![10., 20., 30.], [3]);
+        let y = x.add(&b);
+        assert_eq!(y.data(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_mul_column() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]);
+        let w = Tensor::from_vec(vec![2., 3.], [2, 1]);
+        let y = x.mul(&w);
+        assert_eq!(y.data(), &[2., 4., 9., 12.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        assert_eq!(x.sum(), 21.0);
+        assert_eq!(x.mean(), 3.5);
+        assert_eq!(x.max(), 6.0);
+        assert_eq!(x.min(), 1.0);
+        assert_eq!(x.sum_rows().data(), &[5., 7., 9.]);
+        assert_eq!(x.mean_rows().data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.0, 1.0, 0.5, 0.2], [2, 3]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn index_select_and_scatter_roundtrip() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [3, 2]);
+        let sel = x.index_select_rows(&[2, 0]);
+        assert_eq!(sel.data(), &[5., 6., 1., 2.]);
+        let sc = sel.scatter_add_rows(&[0, 0], 2);
+        assert_eq!(sc.data(), &[6., 8., 0., 0.]);
+    }
+
+    #[test]
+    fn select_cols_picks_and_orders() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [2, 3]);
+        let s = x.select_cols(&[2, 0]);
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.data(), &[3., 1., 6., 4.]);
+    }
+
+    #[test]
+    fn vcat_and_col() {
+        let a = Tensor::from_vec(vec![1., 2.], [1, 2]);
+        let b = Tensor::from_vec(vec![3., 4., 5., 6.], [2, 2]);
+        let c = Tensor::vcat(&[&a, &b]);
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.col(1).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn axpy_works() {
+        let mut a = Tensor::from_vec(vec![1., 2.], [2]);
+        let b = Tensor::from_vec(vec![10., 20.], [2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6., 12.]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Tensor::zeros([2]);
+        assert!(!a.has_non_finite());
+        a.data_mut()[1] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the tensor substrate: algebraic identities of
+//! the eager ops and finite-difference validation of the autodiff rules on
+//! randomized inputs.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use ood_tensor::check::check_gradients;
+use ood_tensor::ops::Axis;
+use ood_tensor::rng::Rng;
+use ood_tensor::{broadcast_shapes, Shape, Tape, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, [rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associates(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(3, 4),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy(3, 5)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_shape_is_commutative(
+        d1 in 1usize..5, d2 in 1usize..5, d3 in 1usize..5,
+    ) {
+        let a = Shape::new(&[d1, d2]);
+        let b = Shape::new(&[d3.min(d2).max(1)]);
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn sum_axis_decomposes_total(a in tensor_strategy(4, 6)) {
+        let rows: f32 = {
+            let mut t = Tape::new();
+            let x = t.leaf(a.clone());
+            let s = t.sum_axis(x, Axis::Rows);
+            t.value(s).sum()
+        };
+        prop_assert!((rows - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(3, 7)) {
+        let mut t = Tape::new();
+        let x = t.leaf(a);
+        let s = t.softmax(x);
+        let v = t.value(s);
+        for i in 0..3 {
+            let row_sum: f32 = v.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            prop_assert!(v.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn index_select_then_scatter_preserves_rowsums(
+        a in tensor_strategy(5, 3),
+        idx in proptest::collection::vec(0usize..5, 1..10),
+    ) {
+        // scatter_add(select(x, idx), idx) accumulates each selected row back
+        // onto its source: total mass equals sum over selected rows.
+        let sel = a.index_select_rows(&idx);
+        let back = sel.scatter_add_rows(&idx, 5);
+        let expected: f32 = idx.iter().map(|&i| a.row(i).iter().sum::<f32>()).sum();
+        prop_assert!((back.sum() - expected).abs() < 1e-3 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn gradcheck_random_composition(
+        a in tensor_strategy(3, 3),
+        b in tensor_strategy(3, 3),
+        pick in 0u8..5,
+    ) {
+        let res = check_gradients(&[a, b], 1e-2, move |t, ids| {
+            let combined = match pick {
+                0 => t.add(ids[0], ids[1]),
+                1 => t.mul(ids[0], ids[1]),
+                2 => t.matmul(ids[0], ids[1]),
+                3 => {
+                    let s = t.sigmoid(ids[0]);
+                    t.mul(s, ids[1])
+                }
+                _ => {
+                    let c = t.cos(ids[0]);
+                    t.add(c, ids[1])
+                }
+            };
+            let sq = t.square(combined);
+            t.mean(sq)
+        });
+        prop_assert!(res.within(5e-2), "{res:?} for op {pick}");
+    }
+
+    #[test]
+    fn weighted_mean_bounded_by_extremes(
+        vals in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        use ood_tensor::ops::loss::weighted_mean;
+        let mut t = Tape::new();
+        let per = t.leaf(Tensor::from_vec(vals.clone(), [4]));
+        let w = Tensor::ones([4]);
+        let l = weighted_mean(&mut t, per, &w);
+        let m = t.value(l).item();
+        let lo = vals.iter().copied().fold(f32::MAX, f32::min);
+        let hi = vals.iter().copied().fold(f32::MIN, f32::max);
+        prop_assert!(m >= lo - 1e-5 && m <= hi + 1e-5);
+    }
+
+    #[test]
+    fn segment_ops_cover_all_rows(
+        seg in proptest::collection::vec(0usize..4, 6),
+    ) {
+        let mut rng = Rng::seed_from(7);
+        let x = Tensor::randn([6, 2], &mut rng);
+        let mut t = Tape::new();
+        let xn = t.leaf(x.clone());
+        let sums = t.segment_sum(xn, Rc::new(seg.clone()), 4);
+        // Total mass preserved by segment_sum.
+        prop_assert!((t.value(sums).sum() - x.sum()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every table and figure at CPU-quick scale (see EXPERIMENTS.md).
+set -u
+BIN=target/release
+run() { echo "=== $1 ($(date +%H:%M:%S))"; shift; "$@" ; }
+run table1 $BIN/table1 --frac 0.1 --ogb-cap 400            > results/table1.md
+run params $BIN/params                                     > results/params.md
+run fig4   $BIN/fig4_weights --frac 0.08 --ogb-cap 250 --epochs 15 --batch-size 64 --epoch-reweight 15 > results/fig4.md
+run fig3   $BIN/fig3_dynamics --frac 0.08 --ogb-cap 250 --epochs 40 --batch-size 64 --epoch-reweight 10 > results/fig3.md
+run complexity $BIN/complexity                             > results/complexity.md
+run table3 $BIN/table3 --frac 0.12 --seeds 2 --epochs 22 --batch-size 64 --epoch-reweight 15 > results/table3.md
+run table2 $BIN/table2 --frac 0.06 --seeds 2 --epochs 15 --batch-size 64 --epoch-reweight 12 > results/table2.md
+run table4 $BIN/table4 --ogb-cap 250 --seeds 2 --epochs 12 --batch-size 64 --epoch-reweight 10 > results/table4.md
+run fig2   $BIN/fig2_ablation --frac 0.06 --ogb-cap 250 --seeds 2 --epochs 12 --batch-size 64 --epoch-reweight 12 > results/fig2.md
+run fig567 $BIN/fig567_hparams --frac 0.05 --ogb-cap 200 --seeds 1 --epochs 10 --batch-size 64 --epoch-reweight 10 > results/fig567.md
+echo "ALL DONE $(date +%H:%M:%S)"
+
+# Higher-quality runs used for the headline table/figure numbers in
+# EXPERIMENTS.md (≈45 extra minutes on one core):
+run table3_final $BIN/table3 --frac 0.3 --seeds 2 --epochs 28 --batch-size 64 --epoch-reweight 20 > results/table3_final.md
+run fig2_final   $BIN/fig2_ablation --frac 0.25 --ogb-cap 400 --seeds 2 --epochs 25 --batch-size 64 --epoch-reweight 20 > results/fig2_final.md
+run ablation_backbone $BIN/ablation_backbone --frac 0.25 --seeds 2 --epochs 25 --batch-size 64 --epoch-reweight 20 > results/ablation_backbone.md

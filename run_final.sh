@@ -1,0 +1,10 @@
+#!/bin/bash
+set -u
+BIN=target/release
+echo "=== table3_final $(date +%H:%M:%S)"
+$BIN/table3 --frac 0.3 --seeds 2 --epochs 28 --batch-size 64 --epoch-reweight 20 > results/table3_final.md
+echo "=== fig2_final $(date +%H:%M:%S)"
+$BIN/fig2_ablation --frac 0.25 --ogb-cap 400 --seeds 2 --epochs 25 --batch-size 64 --epoch-reweight 20 > results/fig2_final.md
+echo "=== ablation_backbone $(date +%H:%M:%S)"
+$BIN/ablation_backbone --frac 0.25 --seeds 2 --epochs 25 --batch-size 64 --epoch-reweight 20 > results/ablation_backbone.md
+echo "FINAL DONE $(date +%H:%M:%S)"
