@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the decorrelation objective (§4.7): cost of
-//! the loss + gradient as a function of sample count `n` (expect linear)
-//! and representation dimension `d` (expect quadratic), for both the RFF
-//! and the linear ("no RFF") variants.
+//! Benchmarks for the decorrelation objective (§4.7): cost of the loss +
+//! gradient as a function of sample count `n` (expect linear) and
+//! representation dimension `d` (expect quadratic), for both the RFF and
+//! the linear ("no RFF") variants.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{black_box, Harness};
 use oodgnn_core::{decorrelation_loss, DecorrelationKind};
 use tensor::rng::Rng;
 use tensor::{Tape, Tensor};
@@ -18,48 +18,47 @@ fn loss_and_grad(z: &Tensor, kind: &DecorrelationKind, rng: &mut Rng) -> f32 {
     g.get(wn).map(|t| t.sum()).unwrap_or(0.0)
 }
 
-fn bench_vs_samples(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decorrelation_vs_n");
+fn main() {
+    let jsonl = bench::telemetry::init("bench_decorrelation", 0);
+    let mut h = Harness::new("decorrelation");
+
     for &n in &[64usize, 128, 256, 512] {
         let mut rng = Rng::seed_from(1);
         let z = Tensor::randn([n, 32], &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q: 1 }, &mut rng))
-            });
+        h.bench(&format!("vs_n/{n}"), || {
+            black_box(loss_and_grad(
+                &z,
+                &DecorrelationKind::Rff { q: 1 },
+                &mut rng,
+            ))
         });
     }
-    group.finish();
-}
 
-fn bench_vs_dim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decorrelation_vs_d");
     for &d in &[16usize, 32, 64, 128] {
         let mut rng = Rng::seed_from(2);
         let z = Tensor::randn([128, d], &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
-            bench.iter(|| {
-                black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q: 1 }, &mut rng))
+        h.bench(&format!("vs_d/{d}"), || {
+            black_box(loss_and_grad(
+                &z,
+                &DecorrelationKind::Rff { q: 1 },
+                &mut rng,
+            ))
+        });
+    }
+
+    {
+        let mut rng = Rng::seed_from(3);
+        let z = Tensor::randn([128, 32], &mut rng);
+        h.bench("variants/linear", || {
+            black_box(loss_and_grad(&z, &DecorrelationKind::Linear, &mut rng))
+        });
+        for q in [1usize, 2, 4] {
+            h.bench(&format!("variants/rff_q{q}"), || {
+                black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q }, &mut rng))
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decorrelation_variants");
-    let mut rng = Rng::seed_from(3);
-    let z = Tensor::randn([128, 32], &mut rng);
-    group.bench_function("linear", |bench| {
-        bench.iter(|| black_box(loss_and_grad(&z, &DecorrelationKind::Linear, &mut rng)));
-    });
-    for q in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("rff_q", q), &q, |bench, &q| {
-            bench.iter(|| black_box(loss_and_grad(&z, &DecorrelationKind::Rff { q }, &mut rng)));
-        });
-    }
-    group.finish();
+    h.finish();
+    bench::telemetry::finish(&jsonl);
 }
-
-criterion_group!(benches, bench_vs_samples, bench_vs_dim, bench_variants);
-criterion_main!(benches);

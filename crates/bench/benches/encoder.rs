@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the graph encoders: forward and
-//! forward+backward throughput of the GIN backbone (the term
-//! `O(|E|d + |V|d²)` of §4.7) and a cross-encoder comparison.
+//! Benchmarks for the graph encoders: forward and forward+backward
+//! throughput of the GIN backbone (the term `O(|E|d + |V|d²)` of §4.7)
+//! and a cross-encoder comparison.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{black_box, Harness};
 use datasets::triangles::TrianglesConfig;
 use gnn::encoder::{ConvKind, GraphEncoder, Readout, StackedEncoder};
 use graph::GraphBatch;
@@ -16,46 +16,53 @@ fn make_batch(n_graphs: usize) -> GraphBatch {
     GraphBatch::from_dataset(&bench.dataset, &idx)
 }
 
-fn bench_gin_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gin_encode_forward");
+fn bench_gin_forward(h: &mut Harness) {
     for &graphs in &[16usize, 32, 64] {
         let batch = make_batch(graphs);
         let mut rng = Rng::seed_from(2);
         let mut enc = StackedEncoder::new(
-            ConvKind::Gin, batch.features.ncols(), 32, 3, false, Readout::Mean, 0.0, &mut rng,
+            ConvKind::Gin,
+            batch.features.ncols(),
+            32,
+            3,
+            false,
+            Readout::Mean,
+            0.0,
+            &mut rng,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(graphs), &graphs, |bench, _| {
-            bench.iter(|| {
-                let mut tape = Tape::new();
-                let z = enc.encode(&mut tape, &batch, Mode::Eval, &mut rng);
-                black_box(tape.value(z).sum())
-            });
+        h.bench(&format!("gin_encode_forward/{graphs}"), || {
+            let mut tape = Tape::new();
+            let z = enc.encode(&mut tape, &batch, Mode::Eval, &mut rng);
+            black_box(tape.value(z).sum())
         });
     }
-    group.finish();
 }
 
-fn bench_gin_backward(c: &mut Criterion) {
-    c.bench_function("gin_encode_backward", |bench| {
-        let batch = make_batch(32);
-        let mut rng = Rng::seed_from(3);
-        let mut enc = StackedEncoder::new(
-            ConvKind::Gin, batch.features.ncols(), 32, 3, false, Readout::Mean, 0.0, &mut rng,
-        );
-        bench.iter(|| {
-            let mut tape = Tape::new();
-            let z = enc.encode(&mut tape, &batch, Mode::Train, &mut rng);
-            let sq = tape.square(z);
-            let loss = tape.mean(sq);
-            let g = tape.backward(loss);
-            let first = enc.params_mut().into_iter().next().unwrap();
-            black_box(g.get(first.bound_node().unwrap()).map(|t| t.sum()))
-        });
+fn bench_gin_backward(h: &mut Harness) {
+    let batch = make_batch(32);
+    let mut rng = Rng::seed_from(3);
+    let mut enc = StackedEncoder::new(
+        ConvKind::Gin,
+        batch.features.ncols(),
+        32,
+        3,
+        false,
+        Readout::Mean,
+        0.0,
+        &mut rng,
+    );
+    h.bench("gin_encode_backward", || {
+        let mut tape = Tape::new();
+        let z = enc.encode(&mut tape, &batch, Mode::Train, &mut rng);
+        let sq = tape.square(z);
+        let loss = tape.mean(sq);
+        let g = tape.backward(loss);
+        let first = enc.params_mut().into_iter().next().unwrap();
+        black_box(g.get(first.bound_node().unwrap()).map(|t| t.sum()))
     });
 }
 
-fn bench_encoders_compared(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encoder_kinds");
+fn bench_encoders_compared(h: &mut Harness) {
     let batch = make_batch(32);
     let mut rng = Rng::seed_from(4);
     for (name, kind) in [
@@ -65,18 +72,29 @@ fn bench_encoders_compared(c: &mut Criterion) {
         ("factor", ConvKind::Factor { factors: 4 }),
     ] {
         let mut enc = StackedEncoder::new(
-            kind, batch.features.ncols(), 32, 3, false, Readout::Mean, 0.0, &mut rng,
+            kind,
+            batch.features.ncols(),
+            32,
+            3,
+            false,
+            Readout::Mean,
+            0.0,
+            &mut rng,
         );
-        group.bench_function(name, |bench| {
-            bench.iter(|| {
-                let mut tape = Tape::new();
-                let z = enc.encode(&mut tape, &batch, Mode::Eval, &mut rng);
-                black_box(tape.value(z).sum())
-            });
+        h.bench(&format!("encoder_kinds/{name}"), || {
+            let mut tape = Tape::new();
+            let z = enc.encode(&mut tape, &batch, Mode::Eval, &mut rng);
+            black_box(tape.value(z).sum())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gin_forward, bench_gin_backward, bench_encoders_compared);
-criterion_main!(benches);
+fn main() {
+    let jsonl = bench::telemetry::init("bench_encoder", 0);
+    let mut h = Harness::new("encoder");
+    bench_gin_forward(&mut h);
+    bench_gin_backward(&mut h);
+    bench_encoders_compared(&mut h);
+    h.finish();
+    bench::telemetry::finish(&jsonl);
+}

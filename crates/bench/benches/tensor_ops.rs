@@ -1,66 +1,81 @@
-//! Criterion micro-benchmarks for the tensor substrate: matmul, segment
-//! ops (the message-passing primitives) and a full autodiff round trip.
+//! Micro-benchmarks for the tensor substrate: matmul, segment ops (the
+//! message-passing primitives) and a full autodiff round trip, on the
+//! in-repo harness. The `tape_small_ops` workload is push-dominated, so
+//! it bounds the cost of the always-on profiling hooks (a few relaxed
+//! atomics per recorded op).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{black_box, Harness};
 use std::rc::Rc;
 use tensor::rng::Rng;
 use tensor::{Tape, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(h: &mut Harness) {
     for &n in &[32usize, 64, 128] {
         let mut rng = Rng::seed_from(1);
         let a = Tensor::randn([n, n], &mut rng);
         let b = Tensor::randn([n, n], &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)));
-        });
+        h.bench(&format!("matmul/{n}"), || black_box(a.matmul(&b)));
     }
-    group.finish();
 }
 
-fn bench_segment_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segment_ops");
+fn bench_segment_ops(h: &mut Harness) {
     for &edges in &[1_000usize, 10_000] {
         let mut rng = Rng::seed_from(2);
         let nodes = edges / 4;
         let x = Tensor::randn([nodes, 64], &mut rng);
         let src: Rc<Vec<usize>> = Rc::new((0..edges).map(|_| rng.below(nodes)).collect());
         let dst: Rc<Vec<usize>> = Rc::new((0..edges).map(|_| rng.below(nodes)).collect());
-        group.bench_with_input(BenchmarkId::new("gather_scatter", edges), &edges, |bench, _| {
-            bench.iter(|| {
-                let mut tape = Tape::new();
-                let xn = tape.constant(x.clone());
-                let msgs = tape.index_select(xn, src.clone());
-                let agg = tape.scatter_add_rows(msgs, dst.clone(), nodes);
-                black_box(tape.value(agg).sum())
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_autodiff_roundtrip(c: &mut Criterion) {
-    c.bench_function("autodiff_mlp_roundtrip", |bench| {
-        let mut rng = Rng::seed_from(3);
-        let x = Tensor::randn([128, 64], &mut rng);
-        let w1 = Tensor::randn([64, 64], &mut rng);
-        let w2 = Tensor::randn([64, 16], &mut rng);
-        bench.iter(|| {
+        h.bench(&format!("gather_scatter/{edges}"), || {
             let mut tape = Tape::new();
             let xn = tape.constant(x.clone());
-            let w1n = tape.leaf(w1.clone());
-            let w2n = tape.leaf(w2.clone());
-            let h = tape.matmul(xn, w1n);
-            let h = tape.relu(h);
-            let o = tape.matmul(h, w2n);
-            let sq = tape.square(o);
-            let loss = tape.mean(sq);
-            let g = tape.backward(loss);
-            black_box(g.get(w1n).map(|t| t.sum()))
+            let msgs = tape.index_select(xn, src.clone());
+            let agg = tape.scatter_add_rows(msgs, dst.clone(), nodes);
+            black_box(tape.value(agg).sum())
         });
+    }
+}
+
+fn bench_autodiff_roundtrip(h: &mut Harness) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn([128, 64], &mut rng);
+    let w1 = Tensor::randn([64, 64], &mut rng);
+    let w2 = Tensor::randn([64, 16], &mut rng);
+    h.bench("autodiff_mlp_roundtrip", || {
+        let mut tape = Tape::new();
+        let xn = tape.constant(x.clone());
+        let w1n = tape.leaf(w1.clone());
+        let w2n = tape.leaf(w2.clone());
+        let hid = tape.matmul(xn, w1n);
+        let hid = tape.relu(hid);
+        let o = tape.matmul(hid, w2n);
+        let sq = tape.square(o);
+        let loss = tape.mean(sq);
+        let g = tape.backward(loss);
+        black_box(g.get(w1n).map(|t| t.sum()))
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_segment_ops, bench_autodiff_roundtrip);
-criterion_main!(benches);
+fn bench_tape_small_ops(h: &mut Harness) {
+    // Many tiny nodes: per-push overhead (arena append + profiling
+    // atomics) dominates, making this the worst case for the hooks.
+    let x = Tensor::from_vec(vec![1.0; 8], [8]);
+    h.bench("tape_small_ops", || {
+        let mut tape = Tape::new();
+        let mut node = tape.leaf(x.clone());
+        for _ in 0..100 {
+            node = tape.add_scalar(node, 1.0);
+        }
+        black_box(tape.value(node).sum())
+    });
+}
+
+fn main() {
+    let jsonl = bench::telemetry::init("bench_tensor_ops", 0);
+    let mut h = Harness::new("tensor_ops");
+    bench_matmul(&mut h);
+    bench_segment_ops(&mut h);
+    bench_autodiff_roundtrip(&mut h);
+    bench_tape_small_ops(&mut h);
+    h.finish();
+    bench::telemetry::finish(&jsonl);
+}

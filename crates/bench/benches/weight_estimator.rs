@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the global–local weight estimator: a full
-//! inner reweighting step (Eq. 8 concat + Eq. 5 covariance + Adam step +
+//! Benchmarks for the global–local weight estimator: a full inner
+//! reweighting step (Eq. 8 concat + Eq. 5 covariance + Adam step +
 //! projection) and the memory update (Eq. 9). The paper's claim is that
 //! the per-batch cost is `O((K+1)|B|)` — independent of the dataset size.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{black_box, Harness};
 use oodgnn_core::{decorrelation_loss, DecorrelationKind, GlobalMemory, GraphWeights};
 use tensor::optim::{Adam, Optimizer};
 use tensor::rng::Rng;
@@ -29,8 +29,7 @@ fn inner_step(mem: &GlobalMemory, z: &Tensor, w: &mut GraphWeights, opt: &mut Ad
     w.project();
 }
 
-fn bench_inner_step_vs_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inner_step_vs_k");
+fn bench_inner_step_vs_k(h: &mut Harness) {
     let b = 64;
     let d = 32;
     for &k in &[1usize, 2, 4] {
@@ -38,44 +37,44 @@ fn bench_inner_step_vs_k(c: &mut Criterion) {
         let mut mem = GlobalMemory::with_uniform_gamma(k, b, d, 0.9);
         let z = Tensor::randn([b, d], &mut rng);
         mem.update(&z, &Tensor::ones([b]));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
-            let mut w = GraphWeights::uniform(b);
-            let mut opt = Adam::new(0.05);
-            bench.iter(|| {
-                inner_step(&mem, &z, &mut w, &mut opt, &mut rng);
-                black_box(w.values().sum())
-            });
+        let mut w = GraphWeights::uniform(b);
+        let mut opt = Adam::new(0.05);
+        h.bench(&format!("inner_step_vs_k/{k}"), || {
+            inner_step(&mem, &z, &mut w, &mut opt, &mut rng);
+            black_box(w.values().sum())
         });
     }
-    group.finish();
 }
 
-fn bench_memory_update(c: &mut Criterion) {
-    c.bench_function("memory_update", |bench| {
-        let mut rng = Rng::seed_from(2);
-        let mut mem = GlobalMemory::with_uniform_gamma(2, 128, 64, 0.9);
-        let z = Tensor::randn([128, 64], &mut rng);
-        let w = Tensor::ones([128]);
-        bench.iter(|| {
-            mem.update(&z, &w);
-            black_box(mem.group(0).0.sum())
-        });
-    });
-}
-
-fn bench_memory_concat(c: &mut Criterion) {
-    c.bench_function("memory_concat", |bench| {
-        let mut rng = Rng::seed_from(3);
-        let mut mem = GlobalMemory::with_uniform_gamma(4, 128, 64, 0.9);
-        let z = Tensor::randn([128, 64], &mut rng);
-        let w = Tensor::ones([128]);
+fn bench_memory_update(h: &mut Harness) {
+    let mut rng = Rng::seed_from(2);
+    let mut mem = GlobalMemory::with_uniform_gamma(2, 128, 64, 0.9);
+    let z = Tensor::randn([128, 64], &mut rng);
+    let w = Tensor::ones([128]);
+    h.bench("memory_update", || {
         mem.update(&z, &w);
-        bench.iter(|| {
-            let (zh, wh) = mem.concat(&z, &w);
-            black_box(zh.sum() + wh.sum())
-        });
+        black_box(mem.group(0).0.sum())
     });
 }
 
-criterion_group!(benches, bench_inner_step_vs_k, bench_memory_update, bench_memory_concat);
-criterion_main!(benches);
+fn bench_memory_concat(h: &mut Harness) {
+    let mut rng = Rng::seed_from(3);
+    let mut mem = GlobalMemory::with_uniform_gamma(4, 128, 64, 0.9);
+    let z = Tensor::randn([128, 64], &mut rng);
+    let w = Tensor::ones([128]);
+    mem.update(&z, &w);
+    h.bench("memory_concat", || {
+        let (zh, wh) = mem.concat(&z, &w);
+        black_box(zh.sum() + wh.sum())
+    });
+}
+
+fn main() {
+    let jsonl = bench::telemetry::init("bench_weight_estimator", 0);
+    let mut h = Harness::new("weight_estimator");
+    bench_inner_step_vs_k(&mut h);
+    bench_memory_update(&mut h);
+    bench_memory_concat(&mut h);
+    h.finish();
+    bench::telemetry::finish(&jsonl);
+}

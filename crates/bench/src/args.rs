@@ -41,7 +41,10 @@ impl Args {
     pub fn get_f32(&self, key: &str, default: f32) -> f32 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -49,7 +52,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -57,7 +63,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -71,7 +80,10 @@ impl Args {
 
     /// A string flag with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether the flag was provided at all.

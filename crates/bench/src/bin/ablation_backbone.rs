@@ -19,7 +19,12 @@ fn run(bench: &OodBenchmark, suite: &SuiteConfig, encoder: ConvKind, seed: u64) 
     let mut cfg = suite.oodgnn_config();
     cfg.encoder = encoder;
     let mut rng = Rng::seed_from(seed);
-    let mut model = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     model.train(bench, seed ^ 0x5151).test_metric
 }
 
@@ -27,11 +32,21 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("ablation_backbone", base_seed);
 
     let benches = [
-        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)),
-        ("PROTEINS-25", datasets::social::generate(&SocialConfig::proteins25(suite.frac), base_seed)),
-        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        (
+            "TRIANGLES",
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+        ),
+        (
+            "PROTEINS-25",
+            datasets::social::generate(&SocialConfig::proteins25(suite.frac), base_seed),
+        ),
+        (
+            "D&D-300",
+            datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed),
+        ),
     ];
     let backbones = [
         ("GIN (paper)", ConvKind::Gin),
@@ -56,4 +71,5 @@ fn main() {
         }
         println!();
     }
+    bench::telemetry::finish(&telemetry);
 }

@@ -26,6 +26,7 @@ fn main() {
     let mut suite = SuiteConfig::from_args(&args);
     suite.epochs = args.get_usize("epochs", 3);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("complexity", base_seed);
 
     println!("# §4.7: time complexity\n");
 
@@ -39,9 +40,17 @@ fn main() {
             run_method(MethodSpec::OodGnn, &bench, &suite, base_seed);
         });
         let t_gin = time_it(|| {
-            run_method(MethodSpec::Baseline(BaselineKind::Gin), &bench, &suite, base_seed);
+            run_method(
+                MethodSpec::Baseline(BaselineKind::Gin),
+                &bench,
+                &suite,
+                base_seed,
+            );
         });
-        println!("| {n} | {t_ood:.2} | {t_gin:.2} | {:.2}x |", t_ood / t_gin.max(1e-9));
+        println!(
+            "| {n} | {t_ood:.2} | {t_gin:.2} | {:.2}x |",
+            t_ood / t_gin.max(1e-9)
+        );
     }
 
     println!("\n## (b) weight-optimization step vs. batch size (expect ~linear)\n");
@@ -63,8 +72,13 @@ fn main() {
                 let mut tape = Tape::new();
                 let zn = tape.constant(z.clone());
                 let wn = w.bind(&mut tape);
-                let loss =
-                    decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Rff { q: 1 }, &mut rng);
+                let loss = decorrelation_loss(
+                    &mut tape,
+                    zn,
+                    wn,
+                    &DecorrelationKind::Rff { q: 1 },
+                    &mut rng,
+                );
                 let g = tape.backward(loss);
                 opt.step(vec![w.param_mut()], &g);
                 w.project();
@@ -88,8 +102,13 @@ fn main() {
                 let mut tape = Tape::new();
                 let zn = tape.constant(z.clone());
                 let wn = w.bind(&mut tape);
-                let loss =
-                    decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Rff { q: 1 }, &mut rng);
+                let loss = decorrelation_loss(
+                    &mut tape,
+                    zn,
+                    wn,
+                    &DecorrelationKind::Rff { q: 1 },
+                    &mut rng,
+                );
                 let g = tape.backward(loss);
                 opt.step(vec![w.param_mut()], &g);
                 w.project();
@@ -98,4 +117,5 @@ fn main() {
         println!("| {d} | {:.2} |", 1000.0 * t / reps as f32);
     }
     println!("\nExpected shape (paper): OOD-GNN's per-epoch cost stays within a small constant factor of GIN's and scales linearly with dataset and batch size, quadratically with d.");
+    bench::telemetry::finish(&telemetry);
 }

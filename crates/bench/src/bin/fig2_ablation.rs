@@ -19,6 +19,7 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("fig2_ablation", base_seed);
     let cap = {
         let c = args.get_usize("ogb-cap", 300);
         if c == 0 {
@@ -29,10 +30,26 @@ fn main() {
     };
 
     let benches = [
-        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed), false),
-        ("PROTEINS-25", datasets::social::generate(&SocialConfig::proteins25(suite.frac), base_seed), false),
-        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed), false),
-        ("BACE", ogb::generate(OgbDataset::Bace, cap, base_seed), false),
+        (
+            "TRIANGLES",
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+            false,
+        ),
+        (
+            "PROTEINS-25",
+            datasets::social::generate(&SocialConfig::proteins25(suite.frac), base_seed),
+            false,
+        ),
+        (
+            "D&D-300",
+            datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed),
+            false,
+        ),
+        (
+            "BACE",
+            ogb::generate(OgbDataset::Bace, cap, base_seed),
+            false,
+        ),
     ];
 
     let variants: Vec<MethodSpec> = vec![
@@ -63,4 +80,5 @@ fn main() {
         println!();
     }
     println!("\nExpected shape (paper): metric grows with RFF dimensionality; 'no RFF' and the GIN baseline sit clearly below the RFF variants.");
+    bench::telemetry::finish(&telemetry);
 }

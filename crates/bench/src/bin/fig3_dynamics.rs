@@ -2,7 +2,9 @@
 //! TRIANGLES, D&D₃₀₀ and OGBG-MOLBACE, demonstrating convergence of the
 //! iterative optimization (Eqs. 6–7) despite its alternating structure.
 //!
-//! Prints one CSV block per dataset plus an ASCII sparkline.
+//! Prints one CSV block per dataset (weighted loss + decorrelation
+//! penalty per epoch, read off the training telemetry) plus ASCII
+//! sparklines for both curves.
 //!
 //! Usage: `cargo run -p bench --release --bin fig3_dynamics
 //!   [--frac 0.05] [--ogb-cap 300] [--epochs 30]`
@@ -30,6 +32,7 @@ fn main() {
         suite.epochs = 30;
     }
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("fig3_dynamics", base_seed);
     let cap = {
         let c = args.get_usize("ogb-cap", 300);
         if c == 0 {
@@ -40,22 +43,37 @@ fn main() {
     };
 
     let benches = [
-        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)),
-        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        (
+            "TRIANGLES",
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+        ),
+        (
+            "D&D-300",
+            datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed),
+        ),
         ("BACE", ogb::generate(OgbDataset::Bace, cap, base_seed)),
     ];
 
-    println!("# Figure 3: weighted prediction loss during training (epochs={})\n", suite.epochs);
+    println!(
+        "# Figure 3: weighted prediction loss during training (epochs={})\n",
+        suite.epochs
+    );
     for (name, bench) in &benches {
         let r = run_method(MethodSpec::OodGnn, bench, &suite, base_seed + 600);
         println!("## {name}");
-        println!("{}", sparkline(&r.loss_curve));
-        println!("epoch,weighted_loss");
+        println!("loss: {}", sparkline(&r.loss_curve));
+        println!("hsic: {}", sparkline(&r.hsic_curve));
+        println!("epoch,weighted_loss,hsic_penalty");
         for (e, l) in r.loss_curve.iter().enumerate() {
-            println!("{},{:.4}", e + 1, l);
+            let h = r.hsic_curve.get(e).copied().unwrap_or(f32::NAN);
+            println!("{},{:.4},{:.6}", e + 1, l, h);
         }
         let first = r.loss_curve.first().copied().unwrap_or(0.0);
         let last = r.loss_curve.last().copied().unwrap_or(0.0);
-        println!("-> loss {first:.3} → {last:.3} (converged: {})\n", last < first);
+        println!(
+            "-> loss {first:.3} → {last:.3} (converged: {})\n",
+            last < first
+        );
     }
+    bench::telemetry::finish(&telemetry);
 }

@@ -40,6 +40,7 @@ fn main() {
         suite.epochs = 20;
     }
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("fig4_weights", base_seed);
     let cap = {
         let c = args.get_usize("ogb-cap", 300);
         if c == 0 {
@@ -50,8 +51,14 @@ fn main() {
     };
 
     let benches = [
-        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)),
-        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        (
+            "TRIANGLES",
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+        ),
+        (
+            "D&D-300",
+            datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed),
+        ),
         ("BACE", ogb::generate(OgbDataset::Bace, cap, base_seed)),
     ];
 
@@ -61,9 +68,22 @@ fn main() {
         let (mean, std) = mean_std(&r.final_weights);
         let min = r.final_weights.iter().copied().fold(f32::MAX, f32::min);
         let max = r.final_weights.iter().copied().fold(f32::MIN, f32::max);
-        println!("## {name} — n={}, mean={mean:.3}, std={std:.3}, min={min:.3}, max={max:.3}", r.final_weights.len());
+        println!(
+            "## {name} — n={}, mean={mean:.3}, std={std:.3}, min={min:.3}, max={max:.3}",
+            r.final_weights.len()
+        );
+        if let Some(ws) = r.weight_stats {
+            println!(
+                "entropy={:.3} nats (uniform={:.3}), ESS={:.1}/{}",
+                ws.entropy,
+                (r.final_weights.len() as f32).ln(),
+                ws.ess,
+                r.final_weights.len()
+            );
+        }
         println!("{}", histogram(&r.final_weights, 12));
         assert!((mean - 1.0).abs() < 0.2, "projection keeps the mean near 1");
     }
     println!("Expected shape (paper): non-trivial spread around 1, distribution differing across datasets.");
+    bench::telemetry::finish(&telemetry);
 }

@@ -17,11 +17,21 @@ use tensor::rng::Rng;
 /// A named tweak applied to the OOD-GNN config before a sweep run.
 type Setting = (String, Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>);
 
-fn run_with(bench: &OodBenchmark, suite: &SuiteConfig, seed: u64, tweak: impl Fn(&mut oodgnn_core::OodGnnConfig)) -> f32 {
+fn run_with(
+    bench: &OodBenchmark,
+    suite: &SuiteConfig,
+    seed: u64,
+    tweak: impl Fn(&mut oodgnn_core::OodGnnConfig),
+) -> f32 {
     let mut cfg = suite.oodgnn_config();
     tweak(&mut cfg);
     let mut rng = Rng::seed_from(seed);
-    let mut model = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     model.train(bench, seed ^ 0x5151).test_metric
 }
 
@@ -64,6 +74,7 @@ fn main() {
         suite.seeds = 2;
     }
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("fig567_hparams", base_seed);
     let cap = {
         let c = args.get_usize("ogb-cap", 300);
         if c == 0 {
@@ -74,8 +85,14 @@ fn main() {
     };
 
     let benches = [
-        ("TRIANGLES", datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)),
-        ("D&D-300", datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        (
+            "TRIANGLES",
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+        ),
+        (
+            "D&D-300",
+            datasets::social::generate(&SocialConfig::dd300(suite.frac), base_seed),
+        ),
         ("BACE", ogb::generate(OgbDataset::Bace, cap, base_seed)),
     ];
     let _ = MethodSpec::OodGnn;
@@ -85,41 +102,77 @@ fn main() {
     let layer_settings: Vec<Setting> = [1usize, 2, 3, 4, 5]
         .iter()
         .map(|&l| {
-            (format!("{l} layers"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
-                c.model.layers = l;
-            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+            (
+                format!("{l} layers"),
+                Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                    c.model.layers = l;
+                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>,
+            )
         })
         .collect();
-    sweep("Message-passing layers", &benches, &suite, base_seed, &layer_settings);
+    sweep(
+        "Message-passing layers",
+        &benches,
+        &suite,
+        base_seed,
+        &layer_settings,
+    );
 
     let dim_settings: Vec<Setting> = [8usize, 16, 32, 64]
         .iter()
         .map(|&d| {
-            (format!("d = {d}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
-                c.model.hidden = d;
-            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+            (
+                format!("d = {d}"),
+                Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                    c.model.hidden = d;
+                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>,
+            )
         })
         .collect();
-    sweep("Representation dimensionality d", &benches, &suite, base_seed + 1, &dim_settings);
+    sweep(
+        "Representation dimensionality d",
+        &benches,
+        &suite,
+        base_seed + 1,
+        &dim_settings,
+    );
 
     let k_settings: Vec<Setting> = [1usize, 2, 4]
         .iter()
         .map(|&k| {
-            (format!("K = {k}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
-                c.k_groups = k;
-            }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
+            (
+                format!("K = {k}"),
+                Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+                    c.k_groups = k;
+                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>,
+            )
         })
         .collect();
-    sweep("Global weight groups K", &benches, &suite, base_seed + 2, &k_settings);
+    sweep(
+        "Global weight groups K",
+        &benches,
+        &suite,
+        base_seed + 2,
+        &k_settings,
+    );
 
-    let gamma_settings: Vec<Setting> =
-        [0.1f32, 0.5, 0.9, 0.99]
-            .iter()
-            .map(|&g| {
-                (format!("γ = {g}"), Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
+    let gamma_settings: Vec<Setting> = [0.1f32, 0.5, 0.9, 0.99]
+        .iter()
+        .map(|&g| {
+            (
+                format!("γ = {g}"),
+                Box::new(move |c: &mut oodgnn_core::OodGnnConfig| {
                     c.gamma = g;
-                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>)
-            })
-            .collect();
-    sweep("Momentum coefficient γ", &benches, &suite, base_seed + 3, &gamma_settings);
+                }) as Box<dyn Fn(&mut oodgnn_core::OodGnnConfig)>,
+            )
+        })
+        .collect();
+    sweep(
+        "Momentum coefficient γ",
+        &benches,
+        &suite,
+        base_seed + 3,
+        &gamma_settings,
+    );
+    bench::telemetry::finish(&telemetry);
 }

@@ -19,8 +19,13 @@ fn main() {
     let layers = args.get_usize("layers", 5);
     let in_dim = datasets::molgen::FEATURE_DIM;
     let task = TaskType::BinaryClassification { tasks: 1 }; // BACE
-    let cfg = ModelConfig { hidden, layers, ..Default::default() };
+    let cfg = ModelConfig {
+        hidden,
+        layers,
+        ..Default::default()
+    };
     let mut rng = Rng::seed_from(7);
+    let telemetry = bench::telemetry::init("params", 7);
 
     println!("# §4.8: parameter counts (BACE-like task, d={hidden}, {layers} layers)\n");
     println!("| Model | #Params |");
@@ -32,7 +37,10 @@ fn main() {
     let mut ood = OodGnn::new(
         in_dim,
         task,
-        OodGnnConfig { model: cfg.clone(), ..Default::default() },
+        OodGnnConfig {
+            model: cfg.clone(),
+            ..Default::default()
+        },
         &mut rng,
     );
     println!("| OOD-GNN | {} |", human(ood.num_params()));
@@ -40,8 +48,13 @@ fn main() {
     let mut gin = GnnModel::baseline(BaselineKind::Gin, in_dim, task, &cfg, &mut rng);
     let mut pna = GnnModel::baseline(BaselineKind::Pna, in_dim, task, &cfg, &mut rng);
     let (g, p, o) = (gin.num_params(), pna.num_params(), ood.num_params());
-    println!("\nOOD-GNN / GIN = {:.2}x; PNA / GIN = {:.2}x", o as f32 / g as f32, p as f32 / g as f32);
+    println!(
+        "\nOOD-GNN / GIN = {:.2}x; PNA / GIN = {:.2}x",
+        o as f32 / g as f32,
+        p as f32 / g as f32
+    );
     println!("Expected shape (paper): OOD-GNN ≈ GIN (0.9M at d=300, 5 layers); PNA several times larger (6.0M).");
+    bench::telemetry::finish(&telemetry);
 }
 
 fn human(n: usize) -> String {

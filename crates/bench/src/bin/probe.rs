@@ -17,6 +17,7 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("probe", base_seed);
     let name = args.get_str("dataset", "proteins");
     let bias = args.get_f32("bias", 0.85);
     let social = |mut cfg: SocialConfig| {
@@ -24,11 +25,17 @@ fn main() {
         datasets::social::generate(&cfg, base_seed)
     };
     let bench: OodBenchmark = match name.as_str() {
-        "triangles" => datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed),
+        "triangles" => {
+            datasets::triangles::generate(&TrianglesConfig::scaled(suite.frac), base_seed)
+        }
         "proteins" => social(SocialConfig::proteins25(suite.frac)),
         "dd300" => social(SocialConfig::dd300(suite.frac)),
         "collab" => social(SocialConfig::collab35(suite.frac)),
-        "bace" => ogb::generate(OgbDataset::Bace, Some(args.get_usize("ogb-cap", 400)), base_seed),
+        "bace" => ogb::generate(
+            OgbDataset::Bace,
+            Some(args.get_usize("ogb-cap", 400)),
+            base_seed,
+        ),
         other => panic!("unknown dataset {other}"),
     };
     println!(
@@ -62,18 +69,26 @@ fn main() {
         cfg.weight_lr = weight_lr;
         cfg.lambda = lambda;
         cfg.decorrelation = DecorrelationKind::Rff { q };
-        let mut ood = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+        let mut ood = OodGnn::new(
+            bench.dataset.feature_dim(),
+            bench.dataset.task(),
+            cfg,
+            &mut rng,
+        );
         let ro = ood.train(&bench, base_seed + s);
-        let wspread = {
-            let (lo, hi) = ro
-                .final_weights
-                .iter()
-                .fold((f32::MAX, f32::MIN), |(l, h), &w| (l.min(w), h.max(w)));
-            hi - lo
-        };
+        let ws = ro.weight_stats;
         println!(
-            "seed {s}: GIN train {:.3} test {:.3} | OOD-GNN train {:.3} test {:.3} (weight spread {wspread:.3})",
-            rb.train_metric, rb.test_metric, ro.train_metric, ro.test_metric
+            "seed {s}: GIN train {:.3} test {:.3} | OOD-GNN train {:.3} test {:.3} \
+             (weights: spread {:.3}, entropy {:.3}, ESS {:.1}/{})",
+            rb.train_metric,
+            rb.test_metric,
+            ro.train_metric,
+            ro.test_metric,
+            ws.max - ws.min,
+            ws.entropy,
+            ws.ess,
+            ro.final_weights.len()
         );
     }
+    bench::telemetry::finish(&telemetry);
 }

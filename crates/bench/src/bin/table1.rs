@@ -16,19 +16,35 @@ fn main() {
     let ogb_cap = args.get_usize("ogb-cap", 400);
     let cap = if ogb_cap == 0 { None } else { Some(ogb_cap) };
     let seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("table1", seed);
 
     let mut rows = vec![compute(
         &datasets::triangles::generate(&TrianglesConfig::scaled(frac), seed),
         "Size",
     )];
     rows.push(compute(
-        &datasets::mnistsp::generate(&MnistSpConfig::scaled(frac).with_variant(NoiseVariant::Noise), seed),
+        &datasets::mnistsp::generate(
+            &MnistSpConfig::scaled(frac).with_variant(NoiseVariant::Noise),
+            seed,
+        ),
         "Feature",
     ));
-    rows.push(compute(&datasets::social::generate(&SocialConfig::collab35(frac), seed), "Size"));
-    rows.push(compute(&datasets::social::generate(&SocialConfig::proteins25(frac), seed), "Size"));
-    rows.push(compute(&datasets::social::generate(&SocialConfig::dd200(frac), seed), "Size"));
-    rows.push(compute(&datasets::social::generate(&SocialConfig::dd300(frac), seed), "Size"));
+    rows.push(compute(
+        &datasets::social::generate(&SocialConfig::collab35(frac), seed),
+        "Size",
+    ));
+    rows.push(compute(
+        &datasets::social::generate(&SocialConfig::proteins25(frac), seed),
+        "Size",
+    ));
+    rows.push(compute(
+        &datasets::social::generate(&SocialConfig::dd200(frac), seed),
+        "Size",
+    ));
+    rows.push(compute(
+        &datasets::social::generate(&SocialConfig::dd300(frac), seed),
+        "Size",
+    ));
     for &d in &ogb::ALL {
         rows.push(compute(&ogb::generate(d, cap, seed), "Scaffold"));
     }
@@ -39,4 +55,5 @@ fn main() {
     for &d in &ogb::ALL {
         println!("  {} = {} graphs", d.name(), d.paper_size());
     }
+    bench::telemetry::finish(&telemetry);
 }

@@ -16,8 +16,12 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("table2", base_seed);
 
-    println!("# Table 2: synthetic datasets (frac={}, seeds={}, epochs={})\n", suite.frac, suite.seeds, suite.epochs);
+    println!(
+        "# Table 2: synthetic datasets (frac={}, seeds={}, epochs={})\n",
+        suite.frac, suite.seeds, suite.epochs
+    );
     println!("| Method | TRIANGLES Train | TRIANGLES Test(large) | MNIST-75SP Train | Test(noise) | Test(color) |");
     println!("|---|---|---|---|---|---|");
 
@@ -57,4 +61,5 @@ fn main() {
             fmt_cell(&sp_color_test, false),
         );
     }
+    bench::telemetry::finish(&telemetry);
 }

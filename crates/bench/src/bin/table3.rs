@@ -15,12 +15,25 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("table3", base_seed);
 
     let benches = [
-        ("COLLAB-35", generate(&SocialConfig::collab35(suite.frac), base_seed)),
-        ("PROTEINS-25", generate(&SocialConfig::proteins25(suite.frac), base_seed)),
-        ("D&D-200", generate(&SocialConfig::dd200(suite.frac), base_seed)),
-        ("D&D-300", generate(&SocialConfig::dd300(suite.frac), base_seed)),
+        (
+            "COLLAB-35",
+            generate(&SocialConfig::collab35(suite.frac), base_seed),
+        ),
+        (
+            "PROTEINS-25",
+            generate(&SocialConfig::proteins25(suite.frac), base_seed),
+        ),
+        (
+            "D&D-200",
+            generate(&SocialConfig::dd200(suite.frac), base_seed),
+        ),
+        (
+            "D&D-300",
+            generate(&SocialConfig::dd300(suite.frac), base_seed),
+        ),
     ];
 
     println!(
@@ -44,4 +57,5 @@ fn main() {
         }
         println!();
     }
+    bench::telemetry::finish(&telemetry);
 }

@@ -15,6 +15,7 @@ fn main() {
     let args = Args::from_env();
     let suite = SuiteConfig::from_args(&args);
     let base_seed = args.get_u64("seed", 7);
+    let telemetry = bench::telemetry::init("table4", base_seed);
     let cap = {
         let c = args.get_usize("ogb-cap", 300);
         if c == 0 {
@@ -41,7 +42,11 @@ fn main() {
     );
     print!("| Method |");
     for d in &selected {
-        let arrow = if d.task().is_regression() { "RMSE↓" } else { "AUC↑" };
+        let arrow = if d.task().is_regression() {
+            "RMSE↓"
+        } else {
+            "AUC↑"
+        };
         print!(" {} ({arrow}) |", d.name());
     }
     println!();
@@ -51,7 +56,10 @@ fn main() {
     }
     println!();
 
-    let benches: Vec<_> = selected.iter().map(|&d| (d, ogb::generate(d, cap, base_seed))).collect();
+    let benches: Vec<_> = selected
+        .iter()
+        .map(|&d| (d, ogb::generate(d, cap, base_seed)))
+        .collect();
     for method in MethodSpec::table_methods() {
         print!("| {} |", method.name());
         for (d, bench) in &benches {
@@ -62,4 +70,5 @@ fn main() {
         }
         println!();
     }
+    bench::telemetry::finish(&telemetry);
 }

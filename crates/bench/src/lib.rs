@@ -7,7 +7,10 @@
 //! formatting with `mean±std` cells.
 
 pub mod args;
+pub mod harness;
 pub mod runner;
+pub mod telemetry;
 
 pub use args::Args;
+pub use harness::{black_box, Harness};
 pub use runner::{fmt_cell, run_method, MethodSpec, RunOutcome, SuiteConfig};

@@ -142,14 +142,25 @@ pub struct RunOutcome {
     pub loss_curve: Vec<f32>,
     /// Final learned sample weights (OOD-GNN only; empty for baselines).
     pub final_weights: Vec<f32>,
+    /// Per-epoch mean decorrelation penalty (OOD-GNN only; empty for
+    /// baselines).
+    pub hsic_curve: Vec<f32>,
+    /// Statistics of the final weights (OOD-GNN only).
+    pub weight_stats: Option<oodgnn_core::weights::WeightStats>,
 }
 
 /// Train one method on a benchmark with one seed.
-pub fn run_method(method: MethodSpec, bench: &OodBenchmark, suite: &SuiteConfig, seed: u64) -> RunOutcome {
+pub fn run_method(
+    method: MethodSpec,
+    bench: &OodBenchmark,
+    suite: &SuiteConfig,
+    seed: u64,
+) -> RunOutcome {
+    let _span = trace::span!("run_method");
     let in_dim = bench.dataset.feature_dim();
     let task = bench.dataset.task();
     let mut rng = Rng::seed_from(seed);
-    match method {
+    let outcome = match method {
         MethodSpec::Baseline(kind) => {
             let mut model = GnnModel::baseline(kind, in_dim, task, &suite.model_config(), &mut rng);
             let r = train_erm(&mut model, bench, &suite.train_config(), seed ^ 0x5151);
@@ -159,6 +170,8 @@ pub fn run_method(method: MethodSpec, bench: &OodBenchmark, suite: &SuiteConfig,
                 test_metric: r.test_metric,
                 loss_curve: r.loss_curve,
                 final_weights: Vec::new(),
+                hsic_curve: Vec::new(),
+                weight_stats: None,
             }
         }
         _ => {
@@ -177,9 +190,27 @@ pub fn run_method(method: MethodSpec, bench: &OodBenchmark, suite: &SuiteConfig,
                 test_metric: r.test_metric,
                 loss_curve: r.loss_curve,
                 final_weights: r.final_weights,
+                hsic_curve: r.hsic_curve,
+                weight_stats: Some(r.weight_stats),
             }
         }
+    };
+    if trace::enabled() {
+        trace::emit_event(
+            "run",
+            &[
+                ("method", method.name().into()),
+                ("dataset", bench.dataset.name().into()),
+                ("run_seed", (seed as i64).into()),
+                ("train_metric", outcome.train_metric.into()),
+                ("val_metric", outcome.val_metric.into()),
+                ("test_metric", outcome.test_metric.into()),
+            ],
+        );
+        trace::metrics::flush();
+        trace::flush_sinks();
     }
+    outcome
 }
 
 /// Format a `mean±std` table cell from repeated-run values. Regression

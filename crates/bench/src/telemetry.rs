@@ -1,0 +1,85 @@
+//! Telemetry bootstrap for the experiment binaries.
+//!
+//! Every binary calls [`init`] first thing: it attaches a console sink
+//! (progress on stderr; stdout stays reserved for markdown/CSV artifacts)
+//! and a JSONL sink under `results/telemetry/`, and stamps the run
+//! context so every event carries `run`, `seed` and `ts_us`.
+//!
+//! Set `OOD_TELEMETRY=0` to disable all sinks, or
+//! `OOD_TELEMETRY_DIR=<dir>` to redirect the JSONL output.
+
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+use trace::{ConsoleSink, JsonlSink};
+
+/// Default directory for JSONL telemetry files, relative to the CWD.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Attach the standard sinks for an experiment binary and stamp the run
+/// context. Returns the JSONL path when file telemetry is active.
+///
+/// The run id is `{bin}-s{seed}-{unix_secs}` so successive runs never
+/// clobber each other and `diff`ing two runs is a filename away.
+pub fn init(bin: &str, seed: u64) -> Option<PathBuf> {
+    if std::env::var("OOD_TELEMETRY").is_ok_and(|v| v == "0") {
+        return None;
+    }
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run_id = format!("{bin}-s{seed}-{secs}");
+    let dir = std::env::var("OOD_TELEMETRY_DIR").unwrap_or_else(|_| TELEMETRY_DIR.to_string());
+    let path = PathBuf::from(dir).join(format!("{run_id}.jsonl"));
+
+    trace::attach(Box::new(ConsoleSink::default()));
+    let jsonl = match JsonlSink::create(&path) {
+        Ok(sink) => {
+            trace::attach(Box::new(sink));
+            Some(path)
+        }
+        Err(e) => {
+            // Console-only degradation: telemetry must never kill a run.
+            eprintln!("telemetry: cannot create {}: {e}", path.display());
+            None
+        }
+    };
+    trace::set_run(&run_id, seed);
+    jsonl
+}
+
+/// Flush metrics and sinks, emit the tensor-op profile summary, and print
+/// where the JSONL stream went. Call once at the end of `main`.
+pub fn finish(jsonl: &Option<PathBuf>) {
+    emit_tensor_profile();
+    trace::metrics::flush();
+    trace::detach_all();
+    if let Some(path) = jsonl {
+        eprintln!("telemetry: {}", path.display());
+    }
+}
+
+/// Bridge the tensor crate's atomic op-profile counters into one
+/// telemetry event (the tensor crate stays dependency-free, so it cannot
+/// emit events itself).
+pub fn emit_tensor_profile() {
+    if !trace::enabled() {
+        return;
+    }
+    let snap = tensor::profile::snapshot();
+    if snap.ops_total == 0 {
+        return;
+    }
+    let mut fields: Vec<(&str, trace::Value)> = vec![
+        ("ops_total", (snap.ops_total as i64).into()),
+        ("elements_total", (snap.elements_total as i64).into()),
+        ("backward_calls", (snap.backward_calls as i64).into()),
+        ("max_tape_len", (snap.max_tape_len as i64).into()),
+        ("peak_live_bytes", (snap.peak_live_bytes as i64).into()),
+    ];
+    let per_op = snap.per_op_nonzero();
+    for (name, count) in &per_op {
+        fields.push((name, (*count as i64).into()));
+    }
+    trace::emit_event("tensor_profile", &fields);
+}

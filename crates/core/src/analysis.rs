@@ -67,10 +67,20 @@ pub fn dependence_report(z: &Tensor, w: &Tensor, seed: u64) -> DependenceReport 
         let mut tape = Tape::new();
         let zn = tape.constant(z.clone());
         let wn = tape.leaf(w.reshape([n]));
-        let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Rff { q: 1 }, &mut rng);
+        let l = decorrelation_loss(
+            &mut tape,
+            zn,
+            wn,
+            &DecorrelationKind::Rff { q: 1 },
+            &mut rng,
+        );
         tape.value(l).item()
     };
-    DependenceReport { mean_abs_correlation: mean_abs, max_abs_correlation: max_abs, rff_objective }
+    DependenceReport {
+        mean_abs_correlation: mean_abs,
+        max_abs_correlation: max_abs,
+        rff_objective,
+    }
 }
 
 /// Summary statistics of a learned weight vector (Figure 4's panel data).
@@ -96,7 +106,11 @@ pub fn weight_stats(weights: &[f32]) -> WeightStats {
     let mean = sum / n;
     let var = weights.iter().map(|w| (w - mean) * (w - mean)).sum::<f32>() / n;
     let sum_sq: f32 = weights.iter().map(|w| w * w).sum();
-    let ess = if sum_sq > 0.0 { (sum * sum) / sum_sq / n } else { 0.0 };
+    let ess = if sum_sq > 0.0 {
+        (sum * sum) / sum_sq / n
+    } else {
+        0.0
+    };
     WeightStats {
         mean,
         std: var.sqrt(),

@@ -80,15 +80,20 @@ pub fn decorrelation_loss(
     kind: &DecorrelationKind,
     rng: &mut Rng,
 ) -> NodeId {
+    trace::metrics::counter_add("decorrelation/calls", 1);
     let (n, d) = tape.shape(z).as_matrix();
     let w = match tape.shape(w).rank() {
         1 => tape.reshape(w, [n, 1]),
         2 => w,
         r => panic!("weights must be rank 1 or 2, got rank {r}"),
     };
-    assert_eq!(tape.shape(w).dims(), &[n, 1], "weights must have one entry per sample");
+    assert_eq!(
+        tape.shape(w).dims(),
+        &[n, 1],
+        "weights must have one entry per sample"
+    );
     let mask = tape.constant(upper_triangle_mask(d));
-    match kind {
+    let loss = match kind {
         DecorrelationKind::Linear => {
             let u = weighted_center(tape, z, w);
             pair_penalty(tape, u, u, mask, n)
@@ -118,7 +123,11 @@ pub fn decorrelation_loss(
             }
             total.expect("q >= 1")
         }
+    };
+    if trace::enabled() {
+        trace::metrics::observe("decorrelation/loss", tape.value(loss).item() as f64);
     }
+    loss
 }
 
 /// Closed-form reference implementation of the **linear** decorrelation
@@ -297,7 +306,10 @@ mod tests {
             let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut r);
             tape.value(l).item()
         };
-        assert!(eval(&down) < eval(&uniform), "down-weighting correlated samples must help");
+        assert!(
+            eval(&down) < eval(&uniform),
+            "down-weighting correlated samples must help"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl GlobalMemory {
     pub fn new(batch_size: usize, dim: usize, gammas: &[f32]) -> Self {
         assert!(!gammas.is_empty(), "need at least one group");
         for &g in gammas {
-            assert!((0.0..1.0).contains(&g), "momentum must be in [0,1), got {g}");
+            assert!(
+                (0.0..1.0).contains(&g),
+                "momentum must be in [0,1), got {g}"
+            );
         }
         GlobalMemory {
             groups: gammas
@@ -78,7 +81,9 @@ impl GlobalMemory {
         let (rows, d) = local_z.shape().as_matrix();
         assert_eq!(d, self.dim, "dim mismatch");
         assert_eq!(local_w.numel(), rows, "weight count mismatch");
+        trace::metrics::counter_add("memory/concats", 1);
         if !self.initialized || rows != self.batch_size {
+            trace::metrics::counter_add("memory/concats_local_only", 1);
             return (local_z.clone(), local_w.reshape([rows]));
         }
         let mut zs: Vec<&Tensor> = self.groups.iter().map(|g| &g.z).collect();
@@ -102,8 +107,10 @@ impl GlobalMemory {
         let (rows, d) = local_z.shape().as_matrix();
         assert_eq!(d, self.dim, "dim mismatch");
         if rows != self.batch_size {
+            trace::metrics::counter_add("memory/updates_skipped", 1);
             return;
         }
+        trace::metrics::counter_add("memory/updates", 1);
         let w_flat = local_w.reshape([rows]);
         if !self.initialized {
             for g in &mut self.groups {
@@ -114,8 +121,12 @@ impl GlobalMemory {
             return;
         }
         for g in &mut self.groups {
-            g.z = g.z.mul_scalar(g.gamma).add(&local_z.mul_scalar(1.0 - g.gamma));
-            g.w = g.w.mul_scalar(g.gamma).add(&w_flat.mul_scalar(1.0 - g.gamma));
+            g.z =
+                g.z.mul_scalar(g.gamma)
+                    .add(&local_z.mul_scalar(1.0 - g.gamma));
+            g.w =
+                g.w.mul_scalar(g.gamma)
+                    .add(&w_flat.mul_scalar(1.0 - g.gamma));
         }
     }
 
@@ -189,7 +200,11 @@ mod tests {
         let z3 = Tensor::full([3, 2], 99.0);
         let w3 = Tensor::ones([3]);
         mem.update(&z3, &w3);
-        assert_eq!(mem.group(0).0, &before, "partial batch must not corrupt memory");
+        assert_eq!(
+            mem.group(0).0,
+            &before,
+            "partial batch must not corrupt memory"
+        );
         // And concat with a partial batch returns local only.
         let (zh, _) = mem.concat(&z3, &w3);
         assert_eq!(zh.shape().dims(), &[3, 2]);

@@ -46,7 +46,12 @@ impl RffParams {
     /// `(n, i)` of output `q` is `√2·cos(w_{q,i}·Z_{n,i} + φ_{q,i})`.
     pub fn apply(&self, tape: &mut Tape, z: NodeId) -> Vec<NodeId> {
         let (_, d) = tape.shape(z).as_matrix();
-        assert_eq!(d, self.d(), "RFF params sampled for d={}, got d={d}", self.d());
+        assert_eq!(
+            d,
+            self.d(),
+            "RFF params sampled for d={}, got d={d}",
+            self.d()
+        );
         let sqrt2 = std::f32::consts::SQRT_2;
         (0..self.q())
             .map(|qi| {
@@ -84,7 +89,10 @@ mod tests {
             assert_eq!(tape.shape(*f).dims(), &[10, 4]);
             // |√2·cos| ≤ √2
             let v = tape.value(*f);
-            assert!(v.data().iter().all(|x| x.abs() <= std::f32::consts::SQRT_2 + 1e-5));
+            assert!(v
+                .data()
+                .iter()
+                .all(|x| x.abs() <= std::f32::consts::SQRT_2 + 1e-5));
         }
     }
 

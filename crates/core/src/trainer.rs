@@ -5,7 +5,7 @@
 
 use crate::decorrelation::{decorrelation_loss, DecorrelationKind};
 use crate::global_local::GlobalMemory;
-use crate::weights::GraphWeights;
+use crate::weights::{weight_stats, GraphWeights, WeightStats};
 use datasets::OodBenchmark;
 use gnn::encoder::{ConvKind, StackedEncoder};
 use gnn::models::{GnnModel, ModelConfig};
@@ -80,6 +80,22 @@ pub struct OodGnnReport {
     pub best_val_metric: Option<f32>,
     /// Test metric at the epoch with the best validation metric.
     pub test_at_best_val: Option<f32>,
+    /// Mean decorrelation (HSIC-style) penalty per epoch, measured after
+    /// each batch's inner reweighting converged.
+    pub hsic_curve: Vec<f32>,
+    /// Statistics (min/max/entropy/ESS) of the final learned weights.
+    pub weight_stats: WeightStats,
+}
+
+/// Outcome of one inner weight-optimization run (Algorithm 1 lines 5–8).
+#[derive(Debug, Clone, Copy)]
+struct InnerStats {
+    /// Gradient steps taken.
+    iters: usize,
+    /// Decorrelation loss at the first iteration (uniform weights).
+    initial_loss: f32,
+    /// Decorrelation loss at the last iteration.
+    final_loss: f32,
 }
 
 /// Standardize every column of a matrix to zero mean / unit variance
@@ -137,7 +153,11 @@ impl OodGnn {
             rep_dim,
             config.gamma,
         );
-        OodGnn { model, memory, config }
+        OodGnn {
+            model,
+            memory,
+            config,
+        }
     }
 
     /// Total trainable parameter count (the paper's §4.8; note the graph
@@ -159,8 +179,9 @@ impl OodGnn {
     /// Optimize the local graph weights for one batch (Algorithm 1 lines
     /// 5–8): `Epoch_Reweight` gradient steps on
     /// `Σ_{i<j} ‖Ĉ^Ŵ_{Ẑi,Ẑj}‖²_F + λ‖w‖²` with the representations fixed.
-    /// Returns the optimized weights.
-    fn optimize_weights(&mut self, z_local: &Tensor, rng: &mut Rng) -> GraphWeights {
+    /// Returns the optimized weights and the inner-loop statistics.
+    fn optimize_weights(&mut self, z_local: &Tensor, rng: &mut Rng) -> (GraphWeights, InnerStats) {
+        let _span = trace::span!("reweight");
         let b = z_local.nrows();
         let mut w = GraphWeights::uniform(b);
         let mut opt = Adam::new(self.config.weight_lr);
@@ -181,7 +202,12 @@ impl OodGnn {
         // only informative when the inputs are O(1) (sum-pooled
         // representations scale with graph size otherwise).
         let z_used = standardize_columns(&z_used);
-        for _ in 0..self.config.epoch_reweight {
+        let mut stats = InnerStats {
+            iters: self.config.epoch_reweight,
+            initial_loss: 0.0,
+            final_loss: 0.0,
+        };
+        for iter in 0..self.config.epoch_reweight {
             // With a column subset the memory layout (full d) cannot align,
             // so the covariance runs over the local batch only.
             let (z_hat, w_hat_globals) = if cols.is_none() {
@@ -195,20 +221,27 @@ impl OodGnn {
             let w_local = w.bind(&mut tape);
             let w_local2 = tape.reshape(w_local, [b, 1]);
             let w_full = if kb > 0 {
-                let w_g =
-                    Tensor::from_vec(w_hat_globals.data()[..kb].to_vec(), [kb, 1]);
+                let w_g = Tensor::from_vec(w_hat_globals.data()[..kb].to_vec(), [kb, 1]);
                 let w_g = tape.constant(w_g);
                 tape.concat_rows(&[w_g, w_local2])
             } else {
                 w_local2
             };
-            let dec = decorrelation_loss(&mut tape, z_node, w_full, &self.config.decorrelation, rng);
+            let dec =
+                decorrelation_loss(&mut tape, z_node, w_full, &self.config.decorrelation, rng);
+            let dec_value = tape.value(dec).item();
+            if iter == 0 {
+                stats.initial_loss = dec_value;
+            }
+            stats.final_loss = dec_value;
             let reg = w.l2_penalty(&mut tape, w_local, self.config.lambda);
             let loss = tape.add(dec, reg);
             let grads = tape.backward(loss);
             opt.step(vec![w.param_mut()], &grads);
             w.project();
         }
+        trace::metrics::counter_add("reweight/inner_iters", stats.iters as u64);
+        trace::metrics::observe("reweight/final_dec_loss", stats.final_loss as f64);
         // Memory update uses the same column subset as the covariance so the
         // stored global representations stay aligned — but the memory is
         // sized for the full rep dim, so only full-dim runs update it.
@@ -218,7 +251,7 @@ impl OodGnn {
         if cols.is_none() {
             self.memory.update(&z_used, w.values());
         }
-        w
+        (w, stats)
     }
 
     /// Optimize sample weights for an arbitrary representation matrix
@@ -226,7 +259,7 @@ impl OodGnn {
     /// encoder — the public API for diagnostics and custom training loops.
     /// Returns the optimized, projected weights.
     pub fn reweight(&mut self, z: &Tensor, rng: &mut Rng) -> Vec<f32> {
-        let w = self.optimize_weights(z, rng);
+        let (w, _) = self.optimize_weights(z, rng);
         w.values().data().to_vec()
     }
 
@@ -240,21 +273,30 @@ impl OodGnn {
             .with_weight_decay(cfg_train.weight_decay)
             .with_grad_clip(cfg_train.grad_clip);
         let mut loss_curve = Vec::with_capacity(cfg_train.epochs);
+        let mut hsic_curve = Vec::with_capacity(cfg_train.epochs);
         let mut tracker = gnn::trainer::BestTracker::new(ds.task().is_regression());
         let mut weight_of: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        let _train_span = trace::span!("train");
         for epoch in 0..cfg_train.epochs {
+            let _epoch_span = trace::span!("epoch");
             let mut order = bench.split.train.clone();
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
+            let mut epoch_hsic = 0.0;
+            let mut grad_norm_sum = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg_train.batch_size) {
+                let _batch_span = trace::span!("batch");
                 let batch = GraphBatch::from_dataset(ds, chunk);
                 // Line 3: local representations.
                 let mut tape = Tape::new();
-                let z = self.model.encode(&mut tape, &batch, Mode::Train, &mut rng);
+                let z = trace::span::time("encode", || {
+                    self.model.encode(&mut tape, &batch, Mode::Train, &mut rng)
+                });
                 let z_value = tape.value(z).clone();
                 // Lines 4–8: optimize local weights (representations fixed).
-                let w = self.optimize_weights(&z_value, &mut rng);
+                let (w, inner) = self.optimize_weights(&z_value, &mut rng);
+                epoch_hsic += inner.final_loss;
                 for (i, &gi) in chunk.iter().enumerate() {
                     weight_of.insert(gi, w.values().data()[i]);
                 }
@@ -265,32 +307,89 @@ impl OodGnn {
                 epoch_loss += tape.value(loss).item();
                 batches += 1;
                 let grads = tape.backward(loss);
-                opt.step(self.model.params_mut(), &grads);
+                let params = self.model.params_mut();
+                if trace::enabled() {
+                    grad_norm_sum += tensor::optim::global_grad_norm(&params, &grads);
+                }
+                opt.step(params, &grads);
             }
-            loss_curve.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            let denom = batches.max(1) as f32;
+            loss_curve.push(if batches > 0 { epoch_loss / denom } else { 0.0 });
+            hsic_curve.push(if batches > 0 { epoch_hsic / denom } else { 0.0 });
+            if trace::enabled() {
+                let ws: Vec<f32> = weight_of.values().copied().collect();
+                let s = weight_stats(&ws);
+                trace::emit_event(
+                    "epoch",
+                    &[
+                        ("epoch", (epoch as i64).into()),
+                        ("loss", (epoch_loss / denom).into()),
+                        ("hsic", (epoch_hsic / denom).into()),
+                        ("grad_norm", (grad_norm_sum / denom).into()),
+                        ("w_min", s.min.into()),
+                        ("w_max", s.max.into()),
+                        ("w_entropy", s.entropy.into()),
+                        ("w_ess", s.ess.into()),
+                    ],
+                );
+                trace::metrics::flush();
+            }
             if let Some(k) = cfg_train.eval_every {
                 if k > 0 && (epoch + 1) % k == 0 {
-                    let v = evaluate(&mut self.model, ds, &bench.split.val, cfg_train.batch_size, &mut rng);
-                    let t = evaluate(&mut self.model, ds, &bench.split.test, cfg_train.batch_size, &mut rng);
+                    let v = evaluate(
+                        &mut self.model,
+                        ds,
+                        &bench.split.val,
+                        cfg_train.batch_size,
+                        &mut rng,
+                    );
+                    let t = evaluate(
+                        &mut self.model,
+                        ds,
+                        &bench.split.test,
+                        cfg_train.batch_size,
+                        &mut rng,
+                    );
                     tracker.observe(v, t);
                 }
             }
         }
-        let final_weights = bench
+        let final_weights: Vec<f32> = bench
             .split
             .train
             .iter()
             .map(|gi| *weight_of.get(gi).unwrap_or(&1.0))
             .collect();
         let (best_val_metric, test_at_best_val) = tracker.into_parts();
+        let weight_stats = weight_stats(&final_weights);
         OodGnnReport {
-            train_metric: evaluate(&mut self.model, ds, &bench.split.train, cfg_train.batch_size, &mut rng),
-            val_metric: evaluate(&mut self.model, ds, &bench.split.val, cfg_train.batch_size, &mut rng),
-            test_metric: evaluate(&mut self.model, ds, &bench.split.test, cfg_train.batch_size, &mut rng),
+            train_metric: evaluate(
+                &mut self.model,
+                ds,
+                &bench.split.train,
+                cfg_train.batch_size,
+                &mut rng,
+            ),
+            val_metric: evaluate(
+                &mut self.model,
+                ds,
+                &bench.split.val,
+                cfg_train.batch_size,
+                &mut rng,
+            ),
+            test_metric: evaluate(
+                &mut self.model,
+                ds,
+                &bench.split.test,
+                cfg_train.batch_size,
+                &mut rng,
+            ),
             loss_curve,
             final_weights,
             best_val_metric,
             test_at_best_val,
+            hsic_curve,
+            weight_stats,
         }
     }
 
@@ -308,8 +407,18 @@ mod tests {
 
     fn quick_config() -> OodGnnConfig {
         OodGnnConfig {
-            model: ModelConfig { hidden: 16, layers: 2, dropout: 0.0, ..Default::default() },
-            train: TrainConfig { epochs: 6, batch_size: 16, lr: 3e-3, ..Default::default() },
+            model: ModelConfig {
+                hidden: 16,
+                layers: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 16,
+                lr: 3e-3,
+                ..Default::default()
+            },
             epoch_reweight: 4,
             ..Default::default()
         }
@@ -327,9 +436,15 @@ mod tests {
         );
         let report = model.train(&bench, 3);
         assert_eq!(report.loss_curve.len(), 6);
+        assert_eq!(report.hsic_curve.len(), 6);
+        assert!(report.hsic_curve.iter().all(|h| h.is_finite() && *h >= 0.0));
         assert_eq!(report.final_weights.len(), bench.split.train.len());
         assert!(report.train_metric.is_finite());
         assert!(report.test_metric.is_finite());
+        // The reported weight stats describe the final weights.
+        let n = report.final_weights.len() as f32;
+        assert!(report.weight_stats.ess > 0.0 && report.weight_stats.ess <= n + 1e-3);
+        assert!((report.weight_stats.mean - 1.0).abs() < 0.3);
     }
 
     #[test]
@@ -345,7 +460,10 @@ mod tests {
         let report = model.train(&bench, 6);
         let mean: f32 =
             report.final_weights.iter().sum::<f32>() / report.final_weights.len() as f32;
-        assert!((mean - 1.0).abs() < 0.25, "weights should stay near mean 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.25,
+            "weights should stay near mean 1, got {mean}"
+        );
         assert!(report.final_weights.iter().all(|&w| w > 0.0));
         // Figure 4: the learned weights should not all be exactly 1.
         let spread = report
@@ -353,7 +471,10 @@ mod tests {
             .iter()
             .map(|&w| (w - mean).abs())
             .fold(0f32, f32::max);
-        assert!(spread > 1e-3, "weights are trivially uniform (spread {spread})");
+        assert!(
+            spread > 1e-3,
+            "weights are trivially uniform (spread {spread})"
+        );
     }
 
     #[test]
@@ -363,7 +484,10 @@ mod tests {
         let mut model = OodGnn::new(
             bench.dataset.feature_dim(),
             bench.dataset.task(),
-            OodGnnConfig { epoch_reweight: 15, ..quick_config() },
+            OodGnnConfig {
+                epoch_reweight: 15,
+                ..quick_config()
+            },
             &mut rng,
         );
         // Correlated representations by construction.
@@ -384,7 +508,9 @@ mod tests {
             tape.value(l).item()
         };
         let uniform_loss = eval_loss(&Tensor::ones([n]), &mut Rng::seed_from(0));
-        let w = model.optimize_weights(&z, &mut rng);
+        let (w, inner) = model.optimize_weights(&z, &mut rng);
+        assert_eq!(inner.iters, 15);
+        assert!(inner.initial_loss.is_finite() && inner.final_loss.is_finite());
         let opt_loss = eval_loss(w.values(), &mut Rng::seed_from(0));
         assert!(
             opt_loss < uniform_loss,
@@ -399,7 +525,10 @@ mod tests {
         let mut model = OodGnn::new(
             bench.dataset.feature_dim(),
             bench.dataset.task(),
-            OodGnnConfig { dim_fraction: 0.5, ..quick_config() },
+            OodGnnConfig {
+                dim_fraction: 0.5,
+                ..quick_config()
+            },
             &mut rng,
         );
         let report = model.train(&bench, 11);
@@ -413,7 +542,10 @@ mod tests {
         let mut model = OodGnn::new(
             bench.dataset.feature_dim(),
             bench.dataset.task(),
-            OodGnnConfig { decorrelation: DecorrelationKind::Linear, ..quick_config() },
+            OodGnnConfig {
+                decorrelation: DecorrelationKind::Linear,
+                ..quick_config()
+            },
             &mut rng,
         );
         let report = model.train(&bench, 14);

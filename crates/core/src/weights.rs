@@ -17,7 +17,10 @@ pub struct GraphWeights {
 impl GraphWeights {
     /// Uniform weights of length `n` with the default floor `1e-3`.
     pub fn uniform(n: usize) -> Self {
-        GraphWeights { param: Param::new(Tensor::ones([n])), floor: 1e-3 }
+        GraphWeights {
+            param: Param::new(Tensor::ones([n])),
+            floor: 1e-3,
+        }
     }
 
     /// Number of weights.
@@ -80,6 +83,70 @@ impl GraphWeights {
         let m = tape.mean(sq);
         tape.mul_scalar(m, lambda)
     }
+
+    /// Summary statistics of the current weights (see [`weight_stats`]).
+    pub fn stats(&self) -> WeightStats {
+        weight_stats(self.values().data())
+    }
+}
+
+/// Summary statistics of a sample-weight vector, used to monitor how far
+/// the reweighting drifts from uniform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightStats {
+    /// Smallest weight.
+    pub min: f32,
+    /// Largest weight.
+    pub max: f32,
+    /// Arithmetic mean (≈1 after projection).
+    pub mean: f32,
+    /// Shannon entropy of the normalized weights in nats; uniform weights
+    /// attain the maximum `ln n`.
+    pub entropy: f32,
+    /// Kish's effective sample size `(Σw)² / Σw²`, in `[1, n]`; `n` for
+    /// uniform weights, approaching 1 as one weight dominates.
+    pub ess: f32,
+}
+
+/// Compute [`WeightStats`] for a weight vector. Weights are assumed
+/// non-negative (as guaranteed by [`GraphWeights::project`]); an empty
+/// slice yields all-zero stats.
+pub fn weight_stats(w: &[f32]) -> WeightStats {
+    if w.is_empty() {
+        return WeightStats {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            entropy: 0.0,
+            ess: 0.0,
+        };
+    }
+    let n = w.len() as f32;
+    let sum: f32 = w.iter().sum();
+    let sum_sq: f32 = w.iter().map(|&x| x * x).sum();
+    let min = w.iter().copied().fold(f32::MAX, f32::min);
+    let max = w.iter().copied().fold(f32::MIN, f32::max);
+    let mut entropy = 0.0;
+    if sum > 0.0 {
+        for &x in w {
+            let p = x / sum;
+            if p > 0.0 {
+                entropy -= p * p.ln();
+            }
+        }
+    }
+    let ess = if sum_sq > 0.0 {
+        sum * sum / sum_sq
+    } else {
+        0.0
+    };
+    WeightStats {
+        min,
+        max,
+        mean: sum / n,
+        entropy,
+        ess,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +168,11 @@ mod tests {
         w.project();
         let sum: f32 = w.values().data().iter().sum();
         assert!((sum - 4.0).abs() < 1e-5, "sum {sum}");
-        assert!(w.values().data().iter().all(|&x| x > 0.0), "{:?}", w.values());
+        assert!(
+            w.values().data().iter().all(|&x| x > 0.0),
+            "{:?}",
+            w.values()
+        );
     }
 
     #[test]
@@ -127,6 +198,45 @@ mod tests {
         let sum: f32 = w.values().data().iter().sum();
         assert!((sum - 3.0).abs() < 1e-5);
         assert!(w.values().data()[0] > w.values().data()[1]);
+    }
+
+    #[test]
+    fn uniform_weight_stats_are_maximal() {
+        let s = weight_stats(&[1.0; 8]);
+        assert!(
+            (s.ess - 8.0).abs() < 1e-5,
+            "uniform ESS must be n, got {}",
+            s.ess
+        );
+        assert!((s.entropy - (8f32).ln()).abs() < 1e-5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+        assert!((s.mean - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concentrated_weight_stats_collapse() {
+        // One dominant weight: ESS → ~1, entropy → ~0.
+        let mut w = vec![1e-6f32; 7];
+        w.push(8.0);
+        let s = weight_stats(&w);
+        assert!(s.ess < 1.001, "ESS {}", s.ess);
+        assert!(s.entropy < 0.01, "entropy {}", s.entropy);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn empty_weight_stats_are_zero() {
+        let s = weight_stats(&[]);
+        assert_eq!(s.ess, 0.0);
+        assert_eq!(s.entropy, 0.0);
+    }
+
+    #[test]
+    fn stats_accessor_matches_free_function() {
+        let mut w = GraphWeights::uniform(4);
+        w.param.value = Tensor::from_vec(vec![0.5, 1.5, 1.0, 1.0], [4]);
+        assert_eq!(w.stats(), weight_stats(&[0.5, 1.5, 1.0, 1.0]));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Randomized tests for the OOD-GNN core: the decorrelation objective,
+//! weight projection and the global memory. Each property runs over a
+//! fixed fan of seeds through the in-tree [`Rng`].
+
+use oodgnn_core::trainer::standardize_columns;
+use oodgnn_core::{decorrelation_loss, DecorrelationKind, GlobalMemory, GraphWeights};
+use tensor::rng::Rng;
+use tensor::{Tape, Tensor};
+
+fn random_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-2.0, 2.0)).collect();
+    Tensor::from_vec(data, [rows, cols])
+}
+
+#[test]
+fn decorrelation_loss_is_nonnegative() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let z = random_matrix(&mut rng, 8, 4);
+        for kind in [DecorrelationKind::Linear, DecorrelationKind::Rff { q: 1 }] {
+            let mut tape = Tape::new();
+            let zn = tape.constant(z.clone());
+            let wn = tape.leaf(Tensor::ones([8]));
+            let l = decorrelation_loss(&mut tape, zn, wn, &kind, &mut rng);
+            assert!(tape.value(l).item() >= 0.0, "seed {seed} kind {kind:?}");
+            assert!(
+                tape.value(l).item().is_finite(),
+                "seed {seed} kind {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_loss_matches_reference_on_random_input() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let z = random_matrix(&mut rng, 10, 3);
+        let w_raw: Vec<f32> = (0..10).map(|_| rng.uniform(0.1, 2.0)).collect();
+        let w = Tensor::from_vec(w_raw, [10]);
+        let mut tape = Tape::new();
+        let zn = tape.constant(z.clone());
+        let wn = tape.leaf(w.clone());
+        let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng);
+        let reference = oodgnn_core::decorrelation::linear_loss_reference(&z, &w);
+        let got = tape.value(l).item();
+        assert!(
+            (got - reference).abs() < 1e-3 * (1.0 + reference.abs()),
+            "seed {seed}: {got} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn projection_enforces_constraints() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let n = rng.range_inclusive(3, 19);
+        let raw: Vec<f32> = (0..n).map(|_| rng.uniform(-5.0, 5.0)).collect();
+        let mut w = GraphWeights::uniform(n);
+        w.param_mut().value = Tensor::from_vec(raw, [n]);
+        w.project();
+        let sum: f32 = w.values().data().iter().sum();
+        assert!(
+            (sum - n as f32).abs() < 1e-3,
+            "seed {seed}: sum {sum} for n {n}"
+        );
+        assert!(w.values().data().iter().all(|&x| x > 0.0), "seed {seed}");
+    }
+}
+
+#[test]
+fn projection_is_idempotent() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let n = rng.range_inclusive(3, 19);
+        let raw: Vec<f32> = (0..n).map(|_| rng.uniform(0.01, 5.0)).collect();
+        let mut w = GraphWeights::uniform(n);
+        w.param_mut().value = Tensor::from_vec(raw, [n]);
+        w.project();
+        let once = w.values().clone();
+        w.project();
+        assert!(w.values().max_abs_diff(&once) < 1e-5, "seed {seed}");
+    }
+}
+
+#[test]
+fn standardize_columns_normalizes() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let z = random_matrix(&mut rng, 16, 3);
+        let s = standardize_columns(&z);
+        for j in 0..3 {
+            let col = s.col(j);
+            let mean = col.mean();
+            assert!(mean.abs() < 1e-3, "seed {seed} col {j} mean {mean}");
+            let var = col.map(|x| x * x).mean() - mean * mean;
+            // Either unit variance or a degenerate (constant) column.
+            assert!(
+                (var - 1.0).abs() < 1e-2 || var < 1e-6,
+                "seed {seed} col {j} var {var}"
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_stays_within_convex_hull() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from(seed);
+        let n_batches = rng.range_inclusive(1, 5);
+        let gamma = rng.uniform(0.0, 0.99);
+        // Every memory entry is a convex combination of seen batches, so it
+        // must stay inside the global min/max envelope.
+        let mut mem = GlobalMemory::with_uniform_gamma(1, 4, 2, gamma);
+        let w = Tensor::ones([4]);
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for _ in 0..n_batches {
+            let b = random_matrix(&mut rng, 4, 2);
+            lo = lo.min(b.min());
+            hi = hi.max(b.max());
+            mem.update(&b, &w);
+        }
+        let (z, _, _) = mem.group(0);
+        assert!(
+            z.min() >= lo - 1e-4 && z.max() <= hi + 1e-4,
+            "seed {seed}: [{}, {}] outside [{lo}, {hi}]",
+            z.min(),
+            z.max()
+        );
+    }
+}
+
+#[test]
+fn concat_layout_is_globals_then_local() {
+    for seed in 0..32 {
+        let mut rng = Rng::seed_from(seed);
+        let z = random_matrix(&mut rng, 4, 2);
+        let mut mem = GlobalMemory::with_uniform_gamma(2, 4, 2, 0.9);
+        let w = Tensor::ones([4]);
+        mem.update(&z, &w);
+        let local = z.mul_scalar(2.0);
+        let wl = Tensor::full([4], 0.5);
+        let (zh, wh) = mem.concat(&local, &wl);
+        assert_eq!(zh.shape().dims(), &[12, 2], "seed {seed}");
+        // Last block must equal the local batch, last weights the local ones.
+        for i in 0..4 {
+            for j in 0..2 {
+                assert_eq!(zh.at(8 + i, j), local.at(i, j), "seed {seed} at ({i},{j})");
+            }
+            assert_eq!(wh.data()[8 + i], 0.5, "seed {seed} weight {i}");
+        }
+    }
+}
+
+#[test]
+fn uniform_weights_are_a_stationary_scale() {
+    // Scaling all weights by a constant then projecting returns uniform.
+    let mut w = GraphWeights::uniform(8);
+    w.param_mut().value = Tensor::full([8], 3.7);
+    w.project();
+    assert!(w.values().data().iter().all(|&x| (x - 1.0).abs() < 1e-5));
+}

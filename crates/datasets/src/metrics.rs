@@ -5,12 +5,20 @@ use tensor::Tensor;
 
 /// Classification accuracy from logits `[n, classes]` and class targets.
 pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
-    assert_eq!(logits.nrows(), targets.len(), "accuracy: row/target mismatch");
+    assert_eq!(
+        logits.nrows(),
+        targets.len(),
+        "accuracy: row/target mismatch"
+    );
     if targets.is_empty() {
         return 0.0;
     }
     let preds = logits.argmax_rows();
-    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f32 / targets.len() as f32
 }
 
@@ -26,7 +34,11 @@ pub fn roc_auc_binary(scores: &[f32], labels: &[f32]) -> Option<f32> {
     }
     // Sort indices by score; assign midranks to ties.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0f64; scores.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -128,7 +140,11 @@ pub fn average_precision(scores: &[f32], labels: &[f32]) -> Option<f32> {
         return None;
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut tp = 0f64;
     let mut seen = 0f64;
     let mut ap = 0f64;

@@ -74,7 +74,12 @@ impl MnistSpConfig {
     pub fn scaled(frac: f32) -> Self {
         let d = Self::default();
         let s = |n: usize| ((n as f32 * frac).round() as usize).max(20);
-        MnistSpConfig { n_train: s(d.n_train), n_val: s(d.n_val), n_test: s(d.n_test), ..d }
+        MnistSpConfig {
+            n_train: s(d.n_train),
+            n_val: s(d.n_val),
+            n_test: s(d.n_test),
+            ..d
+        }
     }
 
     /// Same config with a different test variant.
@@ -94,38 +99,95 @@ fn digit_strokes(digit: usize) -> Vec<Vec<(f32, f32)>> {
     // Hand-designed skeletons; coordinates are (x, y) with y growing upward.
     match digit {
         0 => vec![vec![
-            (0.5, 0.9), (0.25, 0.75), (0.2, 0.5), (0.25, 0.25), (0.5, 0.1),
-            (0.75, 0.25), (0.8, 0.5), (0.75, 0.75), (0.5, 0.9),
+            (0.5, 0.9),
+            (0.25, 0.75),
+            (0.2, 0.5),
+            (0.25, 0.25),
+            (0.5, 0.1),
+            (0.75, 0.25),
+            (0.8, 0.5),
+            (0.75, 0.75),
+            (0.5, 0.9),
         ]],
-        1 => vec![vec![(0.35, 0.7), (0.5, 0.9), (0.5, 0.1)], vec![(0.35, 0.1), (0.65, 0.1)]],
+        1 => vec![
+            vec![(0.35, 0.7), (0.5, 0.9), (0.5, 0.1)],
+            vec![(0.35, 0.1), (0.65, 0.1)],
+        ],
         2 => vec![vec![
-            (0.25, 0.75), (0.45, 0.9), (0.7, 0.8), (0.7, 0.6), (0.3, 0.3),
-            (0.2, 0.1), (0.8, 0.1),
+            (0.25, 0.75),
+            (0.45, 0.9),
+            (0.7, 0.8),
+            (0.7, 0.6),
+            (0.3, 0.3),
+            (0.2, 0.1),
+            (0.8, 0.1),
         ]],
         3 => vec![vec![
-            (0.25, 0.85), (0.6, 0.9), (0.75, 0.75), (0.55, 0.55), (0.4, 0.5),
-            (0.55, 0.45), (0.75, 0.3), (0.6, 0.1), (0.25, 0.15),
+            (0.25, 0.85),
+            (0.6, 0.9),
+            (0.75, 0.75),
+            (0.55, 0.55),
+            (0.4, 0.5),
+            (0.55, 0.45),
+            (0.75, 0.3),
+            (0.6, 0.1),
+            (0.25, 0.15),
         ]],
         4 => vec![vec![(0.65, 0.1), (0.65, 0.9), (0.2, 0.35), (0.85, 0.35)]],
         5 => vec![vec![
-            (0.75, 0.9), (0.3, 0.9), (0.28, 0.55), (0.6, 0.6), (0.78, 0.4),
-            (0.6, 0.12), (0.25, 0.15),
+            (0.75, 0.9),
+            (0.3, 0.9),
+            (0.28, 0.55),
+            (0.6, 0.6),
+            (0.78, 0.4),
+            (0.6, 0.12),
+            (0.25, 0.15),
         ]],
         6 => vec![vec![
-            (0.7, 0.85), (0.4, 0.75), (0.25, 0.45), (0.3, 0.2), (0.55, 0.1),
-            (0.75, 0.25), (0.7, 0.45), (0.45, 0.5), (0.28, 0.4),
+            (0.7, 0.85),
+            (0.4, 0.75),
+            (0.25, 0.45),
+            (0.3, 0.2),
+            (0.55, 0.1),
+            (0.75, 0.25),
+            (0.7, 0.45),
+            (0.45, 0.5),
+            (0.28, 0.4),
         ]],
-        7 => vec![vec![(0.2, 0.9), (0.8, 0.9), (0.45, 0.1)], vec![(0.35, 0.5), (0.65, 0.5)]],
-        8 => vec![vec![
-            (0.5, 0.9), (0.3, 0.75), (0.4, 0.55), (0.5, 0.5), (0.6, 0.55),
-            (0.7, 0.75), (0.5, 0.9),
-        ], vec![
-            (0.5, 0.5), (0.3, 0.35), (0.4, 0.12), (0.5, 0.1), (0.6, 0.12),
-            (0.7, 0.35), (0.5, 0.5),
-        ]],
+        7 => vec![
+            vec![(0.2, 0.9), (0.8, 0.9), (0.45, 0.1)],
+            vec![(0.35, 0.5), (0.65, 0.5)],
+        ],
+        8 => vec![
+            vec![
+                (0.5, 0.9),
+                (0.3, 0.75),
+                (0.4, 0.55),
+                (0.5, 0.5),
+                (0.6, 0.55),
+                (0.7, 0.75),
+                (0.5, 0.9),
+            ],
+            vec![
+                (0.5, 0.5),
+                (0.3, 0.35),
+                (0.4, 0.12),
+                (0.5, 0.1),
+                (0.6, 0.12),
+                (0.7, 0.35),
+                (0.5, 0.5),
+            ],
+        ],
         9 => vec![vec![
-            (0.72, 0.6), (0.5, 0.75), (0.3, 0.65), (0.3, 0.5), (0.5, 0.42),
-            (0.72, 0.55), (0.72, 0.9), (0.65, 0.3), (0.5, 0.1),
+            (0.72, 0.6),
+            (0.5, 0.75),
+            (0.3, 0.65),
+            (0.3, 0.5),
+            (0.5, 0.42),
+            (0.72, 0.55),
+            (0.72, 0.9),
+            (0.65, 0.3),
+            (0.5, 0.1),
         ]],
         _ => panic!("digit {digit} out of range"),
     }
@@ -266,7 +328,12 @@ pub fn generate(config: &MnistSpConfig, seed: u64) -> OodBenchmark {
         let sp = superpixels(&pts, config.max_superpixels);
         let mut g = build_graph(&sp, config.knn, digit);
         if i >= config.n_train + config.n_val {
-            apply_noise(&mut g, config.test_variant, config.noise_std, &mut noise_rng);
+            apply_noise(
+                &mut g,
+                config.test_variant,
+                config.noise_std,
+                &mut noise_rng,
+            );
             split.test.push(i);
         } else if i >= config.n_train {
             split.val.push(i);
@@ -278,7 +345,9 @@ pub fn generate(config: &MnistSpConfig, seed: u64) -> OodBenchmark {
     let dataset = GraphDataset::new(
         "MNIST-75SP",
         graphs,
-        TaskType::MultiClass { classes: NUM_CLASSES },
+        TaskType::MultiClass {
+            classes: NUM_CLASSES,
+        },
     );
     OodBenchmark { dataset, split }
 }
@@ -361,8 +430,14 @@ mod tests {
     #[test]
     fn structures_unchanged_by_noise() {
         // Same seed, clean vs noise: identical topology, different features.
-        let clean = generate(&MnistSpConfig::scaled(0.005).with_variant(NoiseVariant::Clean), 6);
-        let noisy = generate(&MnistSpConfig::scaled(0.005).with_variant(NoiseVariant::Noise), 6);
+        let clean = generate(
+            &MnistSpConfig::scaled(0.005).with_variant(NoiseVariant::Clean),
+            6,
+        );
+        let noisy = generate(
+            &MnistSpConfig::scaled(0.005).with_variant(NoiseVariant::Noise),
+            6,
+        );
         for (&i, &j) in clean.split.test.iter().zip(noisy.split.test.iter()) {
             let gc = clean.dataset.graph(i);
             let gn = noisy.dataset.graph(j);

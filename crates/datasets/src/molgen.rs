@@ -62,14 +62,22 @@ struct ScaffoldTemplate {
 fn ring(types: &[usize]) -> ScaffoldTemplate {
     let n = types.len();
     let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    ScaffoldTemplate { atoms: types.to_vec(), edges, attach: (0..n).collect() }
+    ScaffoldTemplate {
+        atoms: types.to_vec(),
+        edges,
+        attach: (0..n).collect(),
+    }
 }
 
 /// A simple chain of the given atom types.
 fn chain(types: &[usize]) -> ScaffoldTemplate {
     let n = types.len();
     let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
-    ScaffoldTemplate { atoms: types.to_vec(), edges, attach: (0..n).collect() }
+    ScaffoldTemplate {
+        atoms: types.to_vec(),
+        edges,
+        attach: (0..n).collect(),
+    }
 }
 
 /// Fuse a second ring of size `m` onto atoms (0, 1) of a base ring.
@@ -133,15 +141,15 @@ fn scaffold_library() -> Vec<ScaffoldTemplate> {
     let c6 = [C; 6];
     let c5 = [C; 5];
     vec![
-        ring(&c6),                                  // 0 benzene
-        ring(&c5),                                  // 1 cyclopentane
-        fused(&c6, &c6),                            // 2 naphthalene
-        fused(&c6, &[C, C, C, N, C]),               // 3 indole-like
-        joined(&c6, &c6),                           // 4 biphenyl
-        ring(&[N, C, C, C, C, C]),                  // 5 pyridine
-        ring(&[O, C, C, C, C]),                     // 6 furan
-        chain(&[C, C, C, C]),                       // 7 butane scaffold
-        ring(&[C; 8]),                              // 8 macrocycle-8
+        ring(&c6),                    // 0 benzene
+        ring(&c5),                    // 1 cyclopentane
+        fused(&c6, &c6),              // 2 naphthalene
+        fused(&c6, &[C, C, C, N, C]), // 3 indole-like
+        joined(&c6, &c6),             // 4 biphenyl
+        ring(&[N, C, C, C, C, C]),    // 5 pyridine
+        ring(&[O, C, C, C, C]),       // 6 furan
+        chain(&[C, C, C, C]),         // 7 butane scaffold
+        ring(&[C; 8]),                // 8 macrocycle-8
         {
             // 9: benzene with 2-carbon tail
             let mut t = ring(&c6);
@@ -152,7 +160,7 @@ fn scaffold_library() -> Vec<ScaffoldTemplate> {
             t.attach = (0..8).collect();
             t
         },
-        spiro(&c6, &c5),                            // 10 spiro[5.4]
+        spiro(&c6, &c5), // 10 spiro[5.4]
         {
             // 11: anthracene-like (three fused 6-rings)
             let mut t = fused(&c6, &c6);
@@ -168,8 +176,8 @@ fn scaffold_library() -> Vec<ScaffoldTemplate> {
             t.attach = (0..t.atoms.len()).collect();
             t
         },
-        ring(&[N, C, C, N, C, C]),                  // 12 piperazine
-        ring(&[S, C, C, C, C]),                     // 13 thiophene
+        ring(&[N, C, C, N, C, C]), // 12 piperazine
+        ring(&[S, C, C, C, C]),    // 13 thiophene
         {
             // 14: bicyclo bridge
             let mut t = ring(&c6);
@@ -179,11 +187,11 @@ fn scaffold_library() -> Vec<ScaffoldTemplate> {
             t.attach = (0..7).collect();
             t
         },
-        ring(&[N, C, N, C, C, C]),                  // 15 pyrimidine
-        ring(&[O, C, C, N, C, C]),                  // 16 morpholine
-        fused(&c5, &[C, C, C, C, C, C, C]),         // 17 azulene-like 5-7
-        chain(&[C, C, C, C, C, C]),                 // 18 hexane scaffold
-        joined(&c5, &c5),                           // 19 bi(cyclopentyl)
+        ring(&[N, C, N, C, C, C]),          // 15 pyrimidine
+        ring(&[O, C, C, N, C, C]),          // 16 morpholine
+        fused(&c5, &[C, C, C, C, C, C, C]), // 17 azulene-like 5-7
+        chain(&[C, C, C, C, C, C]),         // 18 hexane scaffold
+        joined(&c5, &c5),                   // 19 bi(cyclopentyl)
     ]
 }
 
@@ -198,14 +206,38 @@ struct Motif {
 fn motif_library() -> Vec<Motif> {
     use atom::*;
     vec![
-        Motif { atoms: vec![C], edges: vec![] },                        // 0 methyl
-        Motif { atoms: vec![O], edges: vec![] },                        // 1 hydroxyl
-        Motif { atoms: vec![N], edges: vec![] },                        // 2 amine
-        Motif { atoms: vec![C, O, O], edges: vec![(0, 1), (0, 2)] },    // 3 carboxyl
-        Motif { atoms: vec![N, O, O], edges: vec![(0, 1), (0, 2)] },    // 4 nitro
-        Motif { atoms: vec![X], edges: vec![] },                        // 5 halogen
-        Motif { atoms: vec![S], edges: vec![] },                        // 6 thiol
-        Motif { atoms: vec![C, O, N], edges: vec![(0, 1), (0, 2)] },    // 7 amide
+        Motif {
+            atoms: vec![C],
+            edges: vec![],
+        }, // 0 methyl
+        Motif {
+            atoms: vec![O],
+            edges: vec![],
+        }, // 1 hydroxyl
+        Motif {
+            atoms: vec![N],
+            edges: vec![],
+        }, // 2 amine
+        Motif {
+            atoms: vec![C, O, O],
+            edges: vec![(0, 1), (0, 2)],
+        }, // 3 carboxyl
+        Motif {
+            atoms: vec![N, O, O],
+            edges: vec![(0, 1), (0, 2)],
+        }, // 4 nitro
+        Motif {
+            atoms: vec![X],
+            edges: vec![],
+        }, // 5 halogen
+        Motif {
+            atoms: vec![S],
+            edges: vec![],
+        }, // 6 thiol
+        Motif {
+            atoms: vec![C, O, N],
+            edges: vec![(0, 1), (0, 2)],
+        }, // 7 amide
     ]
 }
 
@@ -333,7 +365,11 @@ fn assemble(
         }
     }
     // Chain padding off a random site.
-    let pad = if extra_chain > 0 { rng.below(extra_chain + 1) } else { 0 };
+    let pad = if extra_chain > 0 {
+        rng.below(extra_chain + 1)
+    } else {
+        0
+    };
     if pad > 0 {
         let mut prev = t.attach[rng.below(t.attach.len())];
         for _ in 0..pad {
@@ -377,7 +413,14 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
         let biased = scaffold < config.n_biased_scaffolds;
         let (tilt, dir) = if biased && config.bias > 0.0 {
             // Scaffold group (parity) decides the tilt direction.
-            (config.bias, if scaffold.is_multiple_of(2) { 1.0 } else { -1.0 })
+            (
+                config.bias,
+                if scaffold.is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                },
+            )
         } else {
             (0.0, 1.0)
         };
@@ -390,7 +433,11 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
                 for t in 0..tasks {
                     let s = mech.score(t, &counts) + rng.normal() * mech.noise_std;
                     values.push(if s > 0.0 { 1.0 } else { 0.0 });
-                    mask.push(if rng.bernoulli(config.label_density) { 1.0 } else { 0.0 });
+                    mask.push(if rng.bernoulli(config.label_density) {
+                        1.0
+                    } else {
+                        0.0
+                    });
                 }
                 Label::MultiBinary { values, mask }
             }
@@ -402,7 +449,13 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
             }
             TaskType::MultiClass { .. } => panic!("molecules are binary/regression tasks"),
         };
-        graphs.push(assemble(scaffold, &counts, config.extra_chain, label, &mut rng));
+        graphs.push(assemble(
+            scaffold,
+            &counts,
+            config.extra_chain,
+            label,
+            &mut rng,
+        ));
     }
     (graphs, mech)
 }
@@ -419,7 +472,10 @@ mod tests {
         for (i, t) in lib.iter().enumerate() {
             assert!(!t.atoms.is_empty(), "scaffold {i} empty");
             for &(u, v) in &t.edges {
-                assert!(u < t.atoms.len() && v < t.atoms.len(), "scaffold {i} bad edge");
+                assert!(
+                    u < t.atoms.len() && v < t.atoms.len(),
+                    "scaffold {i} bad edge"
+                );
             }
             for &a in &t.attach {
                 assert!(a < t.atoms.len(), "scaffold {i} bad attach point");
@@ -440,7 +496,10 @@ mod tests {
 
     #[test]
     fn molecules_are_connected_and_valid() {
-        let cfg = MolConfig { n_graphs: 60, ..Default::default() };
+        let cfg = MolConfig {
+            n_graphs: 60,
+            ..Default::default()
+        };
         let (graphs, _) = generate_molecules(&cfg, 1);
         for g in &graphs {
             g.validate().unwrap();
@@ -464,7 +523,11 @@ mod tests {
     fn biased_scaffolds_correlate_with_labels() {
         // With strong tilt, even-group scaffolds should be mostly positive
         // on task 0 and odd-group mostly negative.
-        let cfg = MolConfig { n_graphs: 1500, bias: 2.5, ..Default::default() };
+        let cfg = MolConfig {
+            n_graphs: 1500,
+            bias: 2.5,
+            ..Default::default()
+        };
         let (graphs, _) = generate_molecules(&cfg, 3);
         let mut pos = [0usize; 2];
         let mut tot = [0usize; 2];
@@ -507,7 +570,10 @@ mod tests {
         }
         let p0 = pos[0] as f32 / tot[0].max(1) as f32;
         let p1 = pos[1] as f32 / tot[1].max(1) as f32;
-        assert!((p0 - p1).abs() < 0.12, "unbiased groups should match: {p0} vs {p1}");
+        assert!(
+            (p0 - p1).abs() < 0.12,
+            "unbiased groups should match: {p0} vs {p1}"
+        );
     }
 
     #[test]
@@ -543,7 +609,11 @@ mod tests {
 
     #[test]
     fn label_density_masks_labels() {
-        let cfg = MolConfig { n_graphs: 300, label_density: 0.5, ..Default::default() };
+        let cfg = MolConfig {
+            n_graphs: 300,
+            label_density: 0.5,
+            ..Default::default()
+        };
         let (graphs, _) = generate_molecules(&cfg, 7);
         let mut observed = 0usize;
         let mut total = 0usize;

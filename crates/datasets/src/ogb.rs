@@ -176,11 +176,16 @@ mod tests {
     fn scaffolds_disjoint_across_split() {
         let bench = generate(OgbDataset::Bace, Some(400), 1);
         let scaffolds = |ids: &[usize]| -> std::collections::BTreeSet<u32> {
-            ids.iter().map(|&i| bench.dataset.graph(i).scaffold().unwrap()).collect()
+            ids.iter()
+                .map(|&i| bench.dataset.graph(i).scaffold().unwrap())
+                .collect()
         };
         let tr = scaffolds(&bench.split.train);
         let te = scaffolds(&bench.split.test);
-        assert!(tr.is_disjoint(&te), "train/test scaffolds overlap: {tr:?} ∩ {te:?}");
+        assert!(
+            tr.is_disjoint(&te),
+            "train/test scaffolds overlap: {tr:?} ∩ {te:?}"
+        );
     }
 
     #[test]
@@ -189,7 +194,12 @@ mod tests {
         let free = generate(OgbDataset::Freesolv, Some(200), 2);
         let bace = generate(OgbDataset::Bace, Some(200), 2);
         let avg = |b: &crate::OodBenchmark| b.dataset.stats().1;
-        assert!(avg(&free) + 4.0 < avg(&bace), "{} vs {}", avg(&free), avg(&bace));
+        assert!(
+            avg(&free) + 4.0 < avg(&bace),
+            "{} vs {}",
+            avg(&free),
+            avg(&bace)
+        );
     }
 
     #[test]

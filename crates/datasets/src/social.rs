@@ -203,7 +203,11 @@ fn build_protein_chain(n: usize, p: f32, rng: &mut Rng) -> Graph {
         if rng.bernoulli(p) {
             // Contact to a residue 2–5 positions away along the chain.
             let d = rng.range_inclusive(2, 5);
-            let j = if i + d < n { i + d } else { i.saturating_sub(d) };
+            let j = if i + d < n {
+                i + d
+            } else {
+                i.saturating_sub(d)
+            };
             if j != i && !g.has_edge(i, j) {
                 g.add_undirected_edge(i, j);
             }
@@ -273,7 +277,11 @@ fn biased_train_size(
         let span = hi - lo + 1;
         let band = (span / num_classes).max(1);
         let b_lo = lo + class * band;
-        let b_hi = if class + 1 == num_classes { hi } else { (b_lo + band - 1).min(hi) };
+        let b_hi = if class + 1 == num_classes {
+            hi
+        } else {
+            (b_lo + band - 1).min(hi)
+        };
         rng.range_inclusive(b_lo.min(hi), b_hi)
     } else {
         rng.range_inclusive(lo, hi)
@@ -337,8 +345,11 @@ pub fn generate(config: &SocialConfig, seed: u64) -> OodBenchmark {
         }
         graphs.push(g);
     }
-    let dataset =
-        GraphDataset::new(config.name.clone(), graphs, TaskType::MultiClass { classes });
+    let dataset = GraphDataset::new(
+        config.name.clone(),
+        graphs,
+        TaskType::MultiClass { classes },
+    );
     OodBenchmark { dataset, split }
 }
 
@@ -361,9 +372,20 @@ mod tests {
     fn proteins_classes_differ_in_expected_triangle_rate() {
         let mut rng = Rng::seed_from(1);
         let n = 40;
-        let c0 = mean_triangle_rate(|r| build_structure(SocialFamily::Proteins, 0, n, r), &mut rng, 30);
-        let c1 = mean_triangle_rate(|r| build_structure(SocialFamily::Proteins, 1, n, r), &mut rng, 30);
-        assert!(c1 > 1.5 * c0, "class 1 should be triangle-richer: {c0} vs {c1}");
+        let c0 = mean_triangle_rate(
+            |r| build_structure(SocialFamily::Proteins, 0, n, r),
+            &mut rng,
+            30,
+        );
+        let c1 = mean_triangle_rate(
+            |r| build_structure(SocialFamily::Proteins, 1, n, r),
+            &mut rng,
+            30,
+        );
+        assert!(
+            c1 > 1.5 * c0,
+            "class 1 should be triangle-richer: {c0} vs {c1}"
+        );
     }
 
     #[test]
@@ -384,15 +406,26 @@ mod tests {
         let c1 = draws(1, &mut rng);
         let max0 = c0.iter().copied().fold(f32::MIN, f32::max);
         let min1 = c1.iter().copied().fold(f32::MAX, f32::min);
-        assert!(min1 < max0, "class densities should overlap ({min1} vs {max0})");
+        assert!(
+            min1 < max0,
+            "class densities should overlap ({min1} vs {max0})"
+        );
     }
 
     #[test]
     fn collab_classes_differ_in_clustering() {
         let mut rng = Rng::seed_from(3);
         let n = 60;
-        let low = mean_triangle_rate(|r| build_structure(SocialFamily::Collab, 0, n, r), &mut rng, 20);
-        let high = mean_triangle_rate(|r| build_structure(SocialFamily::Collab, 2, n, r), &mut rng, 20);
+        let low = mean_triangle_rate(
+            |r| build_structure(SocialFamily::Collab, 0, n, r),
+            &mut rng,
+            20,
+        );
+        let high = mean_triangle_rate(
+            |r| build_structure(SocialFamily::Collab, 2, n, r),
+            &mut rng,
+            20,
+        );
         assert!(high > 1.5 * low, "{low} vs {high}");
     }
 
@@ -435,7 +468,10 @@ mod tests {
         };
         let small = hub_fraction(20, 0.4, &mut rng);
         let large = hub_fraction(200, 0.4, &mut rng);
-        assert!((small - large).abs() < 0.12, "hub fraction drifts: {small} vs {large}");
+        assert!(
+            (small - large).abs() < 0.12,
+            "hub fraction drifts: {small} vs {large}"
+        );
         // And the class parameter moves it.
         let lo = hub_fraction(60, 0.15, &mut rng);
         let hi = hub_fraction(60, 0.45, &mut rng);
@@ -479,11 +515,17 @@ mod tests {
                 .copied()
                 .filter(|&i| bench.dataset.graph(i).label().class() == class)
                 .collect();
-            let total: usize = sel.iter().map(|&i| bench.dataset.graph(i).num_nodes()).sum();
+            let total: usize = sel
+                .iter()
+                .map(|&i| bench.dataset.graph(i).num_nodes())
+                .sum();
             total as f32 / sel.len().max(1) as f32
         };
         let d_train = avg_size(&bench.split.train, 2) - avg_size(&bench.split.train, 0);
-        assert!(d_train > 1.0, "train size/class correlation too weak: {d_train}");
+        assert!(
+            d_train > 1.0,
+            "train size/class correlation too weak: {d_train}"
+        );
     }
 
     #[test]
@@ -491,7 +533,10 @@ mod tests {
         let d200 = SocialConfig::dd200(0.1);
         assert!(d200.test_sizes.0 > d200.train_sizes.1);
         let d300 = SocialConfig::dd300(0.1);
-        assert!(d300.test_sizes.0 <= d300.train_sizes.1, "D&D-300 tests on all sizes");
+        assert!(
+            d300.test_sizes.0 <= d300.train_sizes.1,
+            "D&D-300 tests on all sizes"
+        );
     }
 
     #[test]

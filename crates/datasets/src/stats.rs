@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(s.task_type, "Multi-class.");
         assert_eq!(s.split_method, "Size");
         assert!(s.avg_nodes > 4.0);
-        assert_eq!(s.num_graphs, s.split_sizes.0 + s.split_sizes.1 + s.split_sizes.2);
+        assert_eq!(
+            s.num_graphs,
+            s.split_sizes.0 + s.split_sizes.1 + s.split_sizes.2
+        );
     }
 
     #[test]

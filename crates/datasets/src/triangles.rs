@@ -52,7 +52,12 @@ impl TrianglesConfig {
     pub fn scaled(frac: f32) -> Self {
         let d = Self::default();
         let s = |n: usize| ((n as f32 * frac).round() as usize).max(16);
-        TrianglesConfig { n_train: s(d.n_train), n_val: s(d.n_val), n_test: s(d.n_test), ..d }
+        TrianglesConfig {
+            n_train: s(d.n_train),
+            n_val: s(d.n_val),
+            n_test: s(d.n_test),
+            ..d
+        }
     }
 }
 
@@ -106,7 +111,9 @@ pub fn generate(config: &TrianglesConfig, seed: u64) -> OodBenchmark {
     let dataset = GraphDataset::new(
         "TRIANGLES",
         graphs,
-        TaskType::MultiClass { classes: NUM_CLASSES },
+        TaskType::MultiClass {
+            classes: NUM_CLASSES,
+        },
     );
     OodBenchmark { dataset, split }
 }
@@ -137,7 +144,10 @@ mod tests {
         for &i in &bench.split.test {
             let n = bench.dataset.graph(i).num_nodes();
             assert!(n >= cfg.test_nodes.0 && n <= cfg.test_nodes.1);
-            assert!(n > cfg.train_nodes.1, "test graphs must be larger than training");
+            assert!(
+                n > cfg.train_nodes.1,
+                "test graphs must be larger than training"
+            );
         }
     }
 
@@ -170,6 +180,9 @@ mod tests {
         for g in bench.dataset.graphs() {
             seen[g.label().class()] = true;
         }
-        assert!(seen.iter().filter(|&&s| s).count() >= 5, "want varied labels: {seen:?}");
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 5,
+            "want varied labels: {seen:?}"
+        );
     }
 }

@@ -1,0 +1,130 @@
+//! Randomized tests for the dataset generators and metrics, looping over a
+//! fixed fan of seeds through the in-tree [`Rng`].
+
+use graph::algo::{is_connected, triangle_count};
+use graph::TaskType;
+use ood_datasets::metrics::{accuracy, rmse, roc_auc_binary};
+use ood_datasets::molgen::{generate_molecules, MolConfig};
+use ood_datasets::social::{generate as gen_social, SocialConfig};
+use ood_datasets::triangles::{generate as gen_triangles, TrianglesConfig};
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+#[test]
+fn triangles_labels_always_match_structure() {
+    for seed in 0..12 {
+        let bench = gen_triangles(&TrianglesConfig::scaled(0.005), seed);
+        for g in bench.dataset.graphs() {
+            assert_eq!(g.label().class() + 1, triangle_count(g), "seed {seed}");
+        }
+        assert!(bench.validate().is_ok(), "seed {seed}");
+    }
+}
+
+#[test]
+fn molecules_always_connected_and_scaffolded() {
+    for seed in 0..12 {
+        let cfg = MolConfig {
+            n_graphs: 30,
+            ..Default::default()
+        };
+        let (graphs, _) = generate_molecules(&cfg, seed);
+        for g in &graphs {
+            assert!(g.validate().is_ok(), "seed {seed}");
+            assert!(is_connected(g), "seed {seed}");
+            assert!(g.scaffold().is_some(), "seed {seed}");
+            assert!(g.num_nodes() >= 4, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn social_benchmarks_always_valid() {
+    for seed in 0..8 {
+        let cfg = match seed % 4 {
+            0 => SocialConfig::collab35(0.03),
+            1 => SocialConfig::proteins25(0.03),
+            2 => SocialConfig::dd200(0.03),
+            _ => SocialConfig::dd300(0.03),
+        };
+        let bench = gen_social(&cfg, seed);
+        assert!(bench.validate().is_ok(), "seed {seed}");
+        let classes = match bench.dataset.task() {
+            TaskType::MultiClass { classes } => classes,
+            _ => unreachable!(),
+        };
+        for g in bench.dataset.graphs() {
+            assert!(g.label().class() < classes, "seed {seed}");
+            assert!(g.validate().is_ok(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn auc_is_invariant_to_monotone_score_transforms() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let n = rng.range_inclusive(6, 19);
+        let scores: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let labels: Vec<f32> = (0..n)
+            .map(|_| if rng.bernoulli(0.5) { 1.0 } else { 0.0 })
+            .collect();
+        let a1 = roc_auc_binary(&scores, &labels);
+        let transformed: Vec<f32> = scores
+            .iter()
+            .map(|&s| (2.0 * s).tanh() * 5.0 + 1.0)
+            .collect();
+        let a2 = roc_auc_binary(&transformed, &labels);
+        match (a1, a2) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-4, "seed {seed}: {x} vs {y}"),
+            (None, None) => {}
+            other => panic!("seed {seed}: mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn auc_flipping_scores_complements() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let n = rng.range_inclusive(6, 19);
+        let scores: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        // Half positives half negatives by rank parity to guarantee both classes.
+        let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        let a = roc_auc_binary(&scores, &labels).unwrap();
+        let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let b = roc_auc_binary(&neg, &labels).unwrap();
+        assert!((a + b - 1.0).abs() < 1e-4, "seed {seed}: {a} + {b}");
+    }
+}
+
+#[test]
+fn accuracy_bounds() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let preds: Vec<f32> = (0..12).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let logits = Tensor::from_vec(preds, [4, 3]);
+        let targets = vec![0usize, 1, 2, 0];
+        let a = accuracy(&logits, &targets);
+        assert!((0.0..=1.0).contains(&a), "seed {seed}: {a}");
+    }
+}
+
+#[test]
+fn rmse_triangle_inequality_with_zero() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let p: Vec<f32> = (0..8).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let t: Vec<f32> = (0..8).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let pt = Tensor::from_vec(p, [8, 1]);
+        let tt = Tensor::from_vec(t, [8, 1]);
+        let zero = Tensor::zeros([8, 1]);
+        let d = rmse(&pt, &tt);
+        assert!(d >= 0.0, "seed {seed}");
+        // rmse(p,t) ≤ rmse(p,0) + rmse(0,t)  (norm triangle inequality)
+        assert!(
+            d <= rmse(&pt, &zero) + rmse(&zero, &tt) + 1e-4,
+            "seed {seed}"
+        );
+    }
+}

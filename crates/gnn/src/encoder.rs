@@ -13,13 +13,7 @@ use tensor::{Mode, NodeId, Tape};
 /// Anything that encodes a batch of graphs into a representation matrix.
 pub trait GraphEncoder: Module {
     /// Encode a batch into `[num_graphs, out_dim]`.
-    fn encode(
-        &mut self,
-        tape: &mut Tape,
-        batch: &GraphBatch,
-        mode: Mode,
-        rng: &mut Rng,
-    ) -> NodeId;
+    fn encode(&mut self, tape: &mut Tape, batch: &GraphBatch, mode: Mode, rng: &mut Rng) -> NodeId;
 
     /// Representation dimension.
     fn out_dim(&self) -> usize;
@@ -85,7 +79,9 @@ impl StackedEncoder {
         rng: &mut Rng,
     ) -> Self {
         assert!(layers >= 1, "need at least one conv layer");
-        let convs = (0..layers).map(|_| build_conv(kind, hidden, hidden, rng)).collect();
+        let convs = (0..layers)
+            .map(|_| build_conv(kind, hidden, hidden, rng))
+            .collect();
         StackedEncoder {
             input_proj: Linear::new(in_dim, hidden, rng),
             convs,
@@ -103,13 +99,7 @@ impl StackedEncoder {
 }
 
 impl GraphEncoder for StackedEncoder {
-    fn encode(
-        &mut self,
-        tape: &mut Tape,
-        batch: &GraphBatch,
-        mode: Mode,
-        rng: &mut Rng,
-    ) -> NodeId {
+    fn encode(&mut self, tape: &mut Tape, batch: &GraphBatch, mode: Mode, rng: &mut Rng) -> NodeId {
         let feats = tape.constant(batch.features.clone());
         let mut x = self.input_proj.forward(tape, feats);
         let mut vn_state = self
@@ -230,18 +220,16 @@ impl HierarchicalEncoder {
                 (conv, pool)
             })
             .collect();
-        HierarchicalEncoder { input_proj: Linear::new(in_dim, hidden, rng), levels, hidden }
+        HierarchicalEncoder {
+            input_proj: Linear::new(in_dim, hidden, rng),
+            levels,
+            hidden,
+        }
     }
 }
 
 impl GraphEncoder for HierarchicalEncoder {
-    fn encode(
-        &mut self,
-        tape: &mut Tape,
-        batch: &GraphBatch,
-        mode: Mode,
-        rng: &mut Rng,
-    ) -> NodeId {
+    fn encode(&mut self, tape: &mut Tape, batch: &GraphBatch, mode: Mode, rng: &mut Rng) -> NodeId {
         let feats = tape.constant(batch.features.clone());
         let mut x = self.input_proj.forward(tape, feats);
         let mut cur = batch.clone();
@@ -318,8 +306,7 @@ mod tests {
             ConvKind::Gat { heads: 2 },
             ConvKind::Sage,
         ] {
-            let mut enc =
-                StackedEncoder::new(kind, 4, 8, 2, false, Readout::Mean, 0.0, &mut rng);
+            let mut enc = StackedEncoder::new(kind, 4, 8, 2, false, Readout::Mean, 0.0, &mut rng);
             let mut tape = Tape::new();
             let z = enc.encode(&mut tape, &batch, Mode::Eval, &mut rng);
             assert_eq!(tape.shape(z).dims(), &[2, 8], "{kind:?}");

@@ -29,7 +29,10 @@ impl FactorConv {
     /// has `out_dim` features (`out_dim` must be divisible by
     /// `num_factors`).
     pub fn new(in_dim: usize, out_dim: usize, num_factors: usize, rng: &mut Rng) -> Self {
-        assert!(num_factors > 0 && out_dim.is_multiple_of(num_factors), "out_dim {out_dim} not divisible by factors {num_factors}");
+        assert!(
+            num_factors > 0 && out_dim.is_multiple_of(num_factors),
+            "out_dim {out_dim} not divisible by factors {num_factors}"
+        );
         let factor_dim = out_dim / num_factors;
         let factors = (0..num_factors)
             .map(|_| Factor {
@@ -37,7 +40,10 @@ impl FactorConv {
                 project: Linear::new(in_dim, factor_dim, rng),
             })
             .collect();
-        FactorConv { factors, factor_dim }
+        FactorConv {
+            factors,
+            factor_dim,
+        }
     }
 
     /// Number of factors.

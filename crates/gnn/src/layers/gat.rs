@@ -47,12 +47,7 @@ impl GatConv {
 
 /// Numerically stable per-destination softmax of edge scores:
 /// `softmax_e(score_e)` grouped by destination node.
-fn edge_softmax(
-    tape: &mut Tape,
-    scores: NodeId,
-    dst: Rc<Vec<usize>>,
-    num_nodes: usize,
-) -> NodeId {
+fn edge_softmax(tape: &mut Tape, scores: NodeId, dst: Rc<Vec<usize>>, num_nodes: usize) -> NodeId {
     // max per destination for stability
     let maxes = tape.segment_max(scores, dst.clone(), num_nodes);
     let max_per_edge = tape.index_select(maxes, dst.clone());
@@ -81,7 +76,7 @@ impl Conv for GatConv {
             let a_dst = head.att_dst.bind(tape);
             let s_src = tape.matmul(h, a_src); // [N, 1]
             let s_dst = tape.matmul(h, a_dst); // [N, 1]
-            // Per-edge attention logits: LeakyReLU(s_src[src] + s_dst[dst]).
+                                               // Per-edge attention logits: LeakyReLU(s_src[src] + s_dst[dst]).
             let e_src = tape.index_select(s_src, batch.edge_src.clone());
             let e_dst = tape.index_select(s_dst, batch.edge_dst.clone());
             let logits = tape.add(e_src, e_dst);

@@ -27,7 +27,11 @@ impl GcnConv {
     /// A plain linear GCN layer (no norm, no activation); used as a score
     /// network by SAGPool.
     pub fn plain(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
-        GcnConv { linear: Linear::new(in_dim, out_dim, rng), norm: None, activation: false }
+        GcnConv {
+            linear: Linear::new(in_dim, out_dim, rng),
+            norm: None,
+            activation: false,
+        }
     }
 
     /// The normalized neighborhood aggregation `Â x` as a tape node.
@@ -79,7 +83,10 @@ impl Module for GcnConv {
     }
 
     fn buffers_mut(&mut self) -> Vec<&mut tensor::Tensor> {
-        self.norm.as_mut().map(|bn| bn.buffers_mut()).unwrap_or_default()
+        self.norm
+            .as_mut()
+            .map(|bn| bn.buffers_mut())
+            .unwrap_or_default()
     }
 }
 
@@ -89,7 +96,11 @@ mod tests {
     use graph::{Graph, Label};
 
     fn toy_batch() -> GraphBatch {
-        let mut g = Graph::new(3, Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], [3, 2]), Label::Class(0));
+        let mut g = Graph::new(
+            3,
+            Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], [3, 2]),
+            Label::Class(0),
+        );
         g.add_undirected_edge(0, 1);
         g.add_undirected_edge(1, 2);
         GraphBatch::from_graphs(&[&g])

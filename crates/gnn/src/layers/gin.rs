@@ -84,7 +84,11 @@ mod tests {
     use graph::{Graph, Label};
 
     fn toy_batch() -> GraphBatch {
-        let mut g = Graph::new(3, Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [3, 2]), Label::Class(0));
+        let mut g = Graph::new(
+            3,
+            Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], [3, 2]),
+            Label::Class(0),
+        );
         g.add_undirected_edge(0, 1);
         g.add_undirected_edge(1, 2);
         GraphBatch::from_graphs(&[&g])
@@ -121,7 +125,11 @@ mod tests {
         let s = tape.sum(h);
         let g = tape.backward(s);
         for p in conv.params_mut() {
-            assert!(g.get(p.bound_node().unwrap()).is_some(), "param {}", p.key());
+            assert!(
+                g.get(p.bound_node().unwrap()).is_some(),
+                "param {}",
+                p.key()
+            );
         }
     }
 

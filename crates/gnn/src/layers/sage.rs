@@ -20,7 +20,11 @@ impl SageConv {
     /// A SAGE layer from `in_dim` to `out_dim` features with row
     /// normalization enabled (as in the original paper).
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
-        SageConv { linear: Linear::new(2 * in_dim, out_dim, rng), normalize: true, out_dim }
+        SageConv {
+            linear: Linear::new(2 * in_dim, out_dim, rng),
+            normalize: true,
+            out_dim,
+        }
     }
 
     /// Disable the output row L2 normalization.

@@ -20,7 +20,10 @@ pub struct VirtualNode {
 impl VirtualNode {
     /// Virtual node over `dim`-dimensional embeddings.
     pub fn new(dim: usize, rng: &mut Rng) -> Self {
-        VirtualNode { update_mlp: Mlp::new(&[dim, dim, dim], true, rng), dim }
+        VirtualNode {
+            update_mlp: Mlp::new(&[dim, dim, dim], true, rng),
+            dim,
+        }
     }
 
     /// Initial (zero) virtual embeddings: `[num_graphs, dim]`.
@@ -85,10 +88,7 @@ mod tests {
         let vn_mod = VirtualNode::new(3, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(batch.features.clone());
-        let vn = tape.constant(Tensor::from_vec(
-            vec![10., 10., 10., 20., 20., 20.],
-            [2, 3],
-        ));
+        let vn = tape.constant(Tensor::from_vec(vec![10., 10., 10., 20., 20., 20.], [2, 3]));
         let out = vn_mod.broadcast(&mut tape, x, vn, &batch);
         let v = tape.value(out);
         assert_eq!(v.row(0), &[11., 11., 11.]);

@@ -1,7 +1,9 @@
 //! The baseline model zoo: the eight baselines of the paper's experiments
 //! (§4.1.1) assembled from encoders and a 2-layer MLP head.
 
-use crate::encoder::{ConvKind, GraphEncoder, HierarchicalEncoder, PoolKind, Readout, StackedEncoder};
+use crate::encoder::{
+    ConvKind, GraphEncoder, HierarchicalEncoder, PoolKind, Readout, StackedEncoder,
+};
 use graph::{GraphBatch, TaskType};
 use tensor::nn::{Mlp, Module, Param};
 use tensor::rng::Rng;
@@ -109,34 +111,82 @@ impl GnnModel {
     ) -> Self {
         let encoder: Box<dyn GraphEncoder> = match kind {
             BaselineKind::Gcn => Box::new(StackedEncoder::new(
-                ConvKind::Gcn, in_dim, config.hidden, config.layers, false, config.readout,
-                config.dropout, rng,
+                ConvKind::Gcn,
+                in_dim,
+                config.hidden,
+                config.layers,
+                false,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::GcnVirtual => Box::new(StackedEncoder::new(
-                ConvKind::Gcn, in_dim, config.hidden, config.layers, true, config.readout,
-                config.dropout, rng,
+                ConvKind::Gcn,
+                in_dim,
+                config.hidden,
+                config.layers,
+                true,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::Gin => Box::new(StackedEncoder::new(
-                ConvKind::Gin, in_dim, config.hidden, config.layers, false, config.readout,
-                config.dropout, rng,
+                ConvKind::Gin,
+                in_dim,
+                config.hidden,
+                config.layers,
+                false,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::GinVirtual => Box::new(StackedEncoder::new(
-                ConvKind::Gin, in_dim, config.hidden, config.layers, true, config.readout,
-                config.dropout, rng,
+                ConvKind::Gin,
+                in_dim,
+                config.hidden,
+                config.layers,
+                true,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::FactorGcn => Box::new(StackedEncoder::new(
-                ConvKind::Factor { factors: config.num_factors }, in_dim, config.hidden,
-                config.layers, false, config.readout, config.dropout, rng,
+                ConvKind::Factor {
+                    factors: config.num_factors,
+                },
+                in_dim,
+                config.hidden,
+                config.layers,
+                false,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::Pna => Box::new(StackedEncoder::new(
-                ConvKind::Pna, in_dim, config.hidden, config.layers, false, config.readout,
-                config.dropout, rng,
+                ConvKind::Pna,
+                in_dim,
+                config.hidden,
+                config.layers,
+                false,
+                config.readout,
+                config.dropout,
+                rng,
             )),
             BaselineKind::TopKPool => Box::new(HierarchicalEncoder::new(
-                PoolKind::TopK, in_dim, config.hidden, config.layers, config.pool_ratio, rng,
+                PoolKind::TopK,
+                in_dim,
+                config.hidden,
+                config.layers,
+                config.pool_ratio,
+                rng,
             )),
             BaselineKind::SagPool => Box::new(HierarchicalEncoder::new(
-                PoolKind::Sag, in_dim, config.hidden, config.layers, config.pool_ratio, rng,
+                PoolKind::Sag,
+                in_dim,
+                config.hidden,
+                config.layers,
+                config.pool_ratio,
+                rng,
             )),
         };
         Self::from_encoder(encoder, task, rng)
@@ -146,7 +196,11 @@ impl GnnModel {
     pub fn from_encoder(encoder: Box<dyn GraphEncoder>, task: TaskType, rng: &mut Rng) -> Self {
         let d = encoder.out_dim();
         let head = Mlp::new(&[d, d, task.output_dim()], false, rng);
-        GnnModel { encoder, head, task }
+        GnnModel {
+            encoder,
+            head,
+            task,
+        }
     }
 
     /// The task this model predicts.
@@ -227,7 +281,11 @@ mod tests {
     fn every_baseline_builds_and_predicts() {
         let batch = batch();
         let task = TaskType::MultiClass { classes: 7 };
-        let cfg = ModelConfig { hidden: 8, layers: 2, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 8,
+            layers: 2,
+            ..Default::default()
+        };
         let mut rng = Rng::seed_from(3);
         for kind in ALL_BASELINES {
             let mut m = GnnModel::baseline(kind, 4, task, &cfg, &mut rng);
@@ -242,7 +300,11 @@ mod tests {
     fn pna_has_most_parameters() {
         // §4.8: PNA is the heavyweight baseline.
         let task = TaskType::BinaryClassification { tasks: 1 };
-        let cfg = ModelConfig { hidden: 16, layers: 3, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 16,
+            layers: 3,
+            ..Default::default()
+        };
         let mut rng = Rng::seed_from(4);
         let mut pna = GnnModel::baseline(BaselineKind::Pna, 4, task, &cfg, &mut rng);
         let mut gin = GnnModel::baseline(BaselineKind::Gin, 4, task, &cfg, &mut rng);
@@ -259,7 +321,12 @@ mod tests {
     fn predict_from_rep_matches_predict() {
         let batch = batch();
         let task = TaskType::MultiClass { classes: 3 };
-        let cfg = ModelConfig { hidden: 8, layers: 2, dropout: 0.0, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 8,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let mut rng = Rng::seed_from(5);
         let mut m = GnnModel::baseline(BaselineKind::Gin, 4, task, &cfg, &mut rng);
         let mut tape = Tape::new();

@@ -21,7 +21,10 @@ impl SagPool {
     /// SAGPool over `dim` features keeping `ratio` of nodes.
     pub fn new(dim: usize, ratio: f32, rng: &mut Rng) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0);
-        SagPool { score_gnn: GcnConv::plain(dim, 1, rng), ratio }
+        SagPool {
+            score_gnn: GcnConv::plain(dim, 1, rng),
+            ratio,
+        }
     }
 
     /// Keep ratio.

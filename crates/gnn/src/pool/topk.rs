@@ -12,14 +12,19 @@ use tensor::{NodeId, Tape, Tensor};
 /// sub-batch (edges with both endpoints kept, remapped).
 pub fn topk_filter(scores: &[f32], batch: &GraphBatch, ratio: f32) -> (Vec<usize>, GraphBatch) {
     assert_eq!(scores.len(), batch.num_nodes(), "one score per node");
-    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "ratio must be in (0,1], got {ratio}"
+    );
     let mut keep: Vec<usize> = Vec::new();
     let mut offset = 0usize;
     for &size in &batch.graph_sizes {
         let k = ((size as f32 * ratio).ceil() as usize).clamp(1, size);
         let mut ids: Vec<usize> = (offset..offset + size).collect();
         ids.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut kept: Vec<usize> = ids[..k].to_vec();
         kept.sort_unstable();
@@ -67,7 +72,10 @@ impl TopKPool {
     /// graph's nodes.
     pub fn new(dim: usize, ratio: f32, rng: &mut Rng) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0);
-        TopKPool { projection: Param::new(Tensor::randn([dim, 1], rng).mul_scalar(0.1)), ratio }
+        TopKPool {
+            projection: Param::new(Tensor::randn([dim, 1], rng).mul_scalar(0.1)),
+            ratio,
+        }
     }
 
     /// Keep ratio.

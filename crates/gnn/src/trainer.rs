@@ -74,7 +74,11 @@ pub struct BestTracker {
 impl BestTracker {
     /// New tracker; `lower_is_better` for RMSE-style metrics.
     pub fn new(lower_is_better: bool) -> Self {
-        BestTracker { lower_is_better, best_val: None, test_at_best: None }
+        BestTracker {
+            lower_is_better,
+            best_val: None,
+            test_at_best: None,
+        }
     }
 
     /// Observe one (validation, test) evaluation pair.
@@ -175,10 +179,13 @@ pub fn train_erm(
     let mut loss_curve = Vec::with_capacity(config.epochs);
     let mut tracker = BestTracker::new(ds.task().is_regression());
     let n = bench.split.train.len();
+    let _train_span = trace::span!("train_erm");
     for epoch in 0..config.epochs {
+        let _epoch_span = trace::span!("epoch");
         let mut order = bench.split.train.clone();
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
+        let mut grad_norm_sum = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
             let batch = GraphBatch::from_dataset(ds, chunk);
@@ -190,9 +197,25 @@ pub fn train_erm(
             epoch_loss += tape.value(loss).item();
             batches += 1;
             let grads = tape.backward(loss);
-            opt.step(model.params_mut(), &grads);
+            let params = model.params_mut();
+            if trace::enabled() {
+                grad_norm_sum += tensor::optim::global_grad_norm(&params, &grads);
+            }
+            opt.step(params, &grads);
         }
-        loss_curve.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        let denom = batches.max(1) as f32;
+        loss_curve.push(if batches > 0 { epoch_loss / denom } else { 0.0 });
+        if trace::enabled() {
+            trace::emit_event(
+                "epoch",
+                &[
+                    ("epoch", (epoch as i64).into()),
+                    ("loss", (epoch_loss / denom).into()),
+                    ("grad_norm", (grad_norm_sum / denom).into()),
+                ],
+            );
+            trace::metrics::flush();
+        }
         if let Some(k) = config.eval_every {
             if k > 0 && (epoch + 1) % k == 0 {
                 let v = evaluate(model, ds, &bench.split.val, config.batch_size, &mut rng);
@@ -246,14 +269,22 @@ mod tests {
         let train: Vec<usize> = (0..n * 8 / 10).collect();
         let val: Vec<usize> = (n * 8 / 10..n * 9 / 10).collect();
         let test: Vec<usize> = (n * 9 / 10..n).collect();
-        OodBenchmark { dataset: ds, split: Split { train, val, test } }
+        OodBenchmark {
+            dataset: ds,
+            split: Split { train, val, test },
+        }
     }
 
     #[test]
     fn erm_learns_easy_task() {
         let bench = easy_benchmark(40);
         let mut rng = Rng::seed_from(2);
-        let cfg = ModelConfig { hidden: 16, layers: 2, dropout: 0.0, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 16,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let mut model = GnnModel::baseline(
             BaselineKind::Gin,
             bench.dataset.feature_dim(),
@@ -264,10 +295,19 @@ mod tests {
         let report = train_erm(
             &mut model,
             &bench,
-            &TrainConfig { epochs: 30, batch_size: 16, lr: 3e-3, ..Default::default() },
+            &TrainConfig {
+                epochs: 30,
+                batch_size: 16,
+                lr: 3e-3,
+                ..Default::default()
+            },
             3,
         );
-        assert!(report.train_metric > 0.9, "train acc {}", report.train_metric);
+        assert!(
+            report.train_metric > 0.9,
+            "train acc {}",
+            report.train_metric
+        );
         assert!(report.test_metric > 0.8, "test acc {}", report.test_metric);
         // Loss should decrease substantially.
         let first = report.loss_curve[0];
@@ -281,7 +321,12 @@ mod tests {
         // the larger OOD test graphs — the effect the paper studies.
         let bench = generate(&TrianglesConfig::scaled(0.06), 4);
         let mut rng = Rng::seed_from(5);
-        let cfg = ModelConfig { hidden: 16, layers: 2, dropout: 0.0, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 16,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let mut model = GnnModel::baseline(
             BaselineKind::Gin,
             bench.dataset.feature_dim(),
@@ -292,7 +337,12 @@ mod tests {
         let report = train_erm(
             &mut model,
             &bench,
-            &TrainConfig { epochs: 15, batch_size: 32, lr: 3e-3, ..Default::default() },
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                lr: 3e-3,
+                ..Default::default()
+            },
             6,
         );
         assert!(
@@ -308,7 +358,11 @@ mod tests {
         use datasets::ogb::{generate as gen_ogb, OgbDataset};
         let bench = gen_ogb(OgbDataset::Esol, Some(60), 7);
         let mut rng = Rng::seed_from(8);
-        let cfg = ModelConfig { hidden: 8, layers: 2, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 8,
+            layers: 2,
+            ..Default::default()
+        };
         let mut model = GnnModel::baseline(
             BaselineKind::Gcn,
             bench.dataset.feature_dim(),
@@ -324,7 +378,11 @@ mod tests {
     fn empty_split_evaluates_to_nan() {
         let bench = easy_benchmark(4);
         let mut rng = Rng::seed_from(9);
-        let cfg = ModelConfig { hidden: 4, layers: 1, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden: 4,
+            layers: 1,
+            ..Default::default()
+        };
         let mut model = GnnModel::baseline(
             BaselineKind::Gcn,
             bench.dataset.feature_dim(),

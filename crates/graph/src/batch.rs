@@ -107,7 +107,10 @@ impl GraphBatch {
 
     /// Per-node self-loop coefficient for GCN: `1 / (deg+1)`.
     pub fn gcn_self_norm(&self) -> Vec<f32> {
-        self.in_degrees().iter().map(|&d| 1.0 / (d + 1) as f32).collect()
+        self.in_degrees()
+            .iter()
+            .map(|&d| 1.0 / (d + 1) as f32)
+            .collect()
     }
 }
 

@@ -103,7 +103,12 @@ impl GraphDataset {
                 (t, l) => panic!("graph {i}: label {l:?} does not match task {t:?}"),
             }
         }
-        GraphDataset { name: name.into(), graphs, task, feature_dim }
+        GraphDataset {
+            name: name.into(),
+            graphs,
+            task,
+            feature_dim,
+        }
     }
 
     /// Dataset name (e.g. `"TRIANGLES"`).
@@ -162,7 +167,10 @@ impl GraphDataset {
 
     /// Stack class labels into a target vector (classification datasets).
     pub fn class_labels(&self, indices: &[usize]) -> Vec<usize> {
-        indices.iter().map(|&i| self.graphs[i].label().class()).collect()
+        indices
+            .iter()
+            .map(|&i| self.graphs[i].label().class())
+            .collect()
     }
 
     /// Stack multi-binary labels into `(targets, mask)` matrices of shape
@@ -262,7 +270,11 @@ mod tests {
     fn subset_preserves_schema() {
         let ds = GraphDataset::new(
             "toy",
-            vec![graph_with_class(0, 3), graph_with_class(1, 5), graph_with_class(0, 4)],
+            vec![
+                graph_with_class(0, 3),
+                graph_with_class(1, 5),
+                graph_with_class(0, 4),
+            ],
             TaskType::MultiClass { classes: 2 },
         );
         let sub = ds.subset(&[2, 0]);
@@ -276,7 +288,10 @@ mod tests {
         let mut g = Graph::new(
             2,
             Tensor::zeros([2, 1]),
-            Label::MultiBinary { values: vec![1.0, 0.0], mask: vec![1.0, 0.0] },
+            Label::MultiBinary {
+                values: vec![1.0, 0.0],
+                mask: vec![1.0, 0.0],
+            },
         );
         g.add_undirected_edge(0, 1);
         let ds = GraphDataset::new("b", vec![g], TaskType::BinaryClassification { tasks: 2 });
@@ -296,7 +311,10 @@ mod tests {
     #[test]
     fn task_output_dims() {
         assert_eq!(TaskType::MultiClass { classes: 10 }.output_dim(), 10);
-        assert_eq!(TaskType::BinaryClassification { tasks: 12 }.output_dim(), 12);
+        assert_eq!(
+            TaskType::BinaryClassification { tasks: 12 }.output_dim(),
+            12
+        );
         assert_eq!(TaskType::Regression { targets: 1 }.output_dim(), 1);
         assert!(TaskType::Regression { targets: 1 }.is_regression());
         assert!(!TaskType::MultiClass { classes: 2 }.is_regression());

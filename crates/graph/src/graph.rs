@@ -34,7 +34,13 @@ impl Graph {
             "feature rows {} != num_nodes {num_nodes}",
             features.shape().dim(0)
         );
-        Graph { num_nodes, edges: Vec::new(), features, label, scaffold: None }
+        Graph {
+            num_nodes,
+            edges: Vec::new(),
+            features,
+            label,
+            scaffold: None,
+        }
     }
 
     /// Number of nodes.
@@ -97,7 +103,10 @@ impl Graph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_directed_edge(&mut self, src: usize, dst: usize) {
-        assert!(src < self.num_nodes && dst < self.num_nodes, "edge ({src},{dst}) out of range");
+        assert!(
+            src < self.num_nodes && dst < self.num_nodes,
+            "edge ({src},{dst}) out of range"
+        );
         self.edges.push((src as u32, dst as u32));
     }
 

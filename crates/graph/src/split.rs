@@ -25,9 +25,11 @@ impl Split {
     /// graphs).
     pub fn validate(&self, len: usize) -> Result<(), String> {
         let mut seen = vec![false; len];
-        for (name, ids) in
-            [("train", &self.train), ("val", &self.val), ("test", &self.test)]
-        {
+        for (name, ids) in [
+            ("train", &self.train),
+            ("val", &self.val),
+            ("test", &self.test),
+        ] {
             for &i in ids {
                 if i >= len {
                     return Err(format!("{name} index {i} out of range {len}"));
@@ -98,7 +100,11 @@ pub fn size_split(
         let extra = train.split_off(cap.min(train.len()));
         large.extend(extra);
     }
-    Split { train, val, test: large }
+    Split {
+        train,
+        val,
+        test: large,
+    }
 }
 
 /// Scaffold-based OOD split: order scaffold groups by descending size and
@@ -111,7 +117,9 @@ pub fn scaffold_split(ds: &GraphDataset, train_frac: f32, val_frac: f32) -> Spli
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (i, g) in ds.graphs().iter().enumerate() {
-        let s = g.scaffold().unwrap_or_else(|| panic!("graph {i} has no scaffold id"));
+        let s = g
+            .scaffold()
+            .unwrap_or_else(|| panic!("graph {i} has no scaffold id"));
         groups.entry(s).or_default().push(i);
     }
     // Largest scaffolds first (OGB convention) with scaffold id as
@@ -216,9 +224,14 @@ mod tests {
             }
         };
         for sc in 0..6u32 {
-            let members: Vec<usize> = (0..30).filter(|&i| ds.graph(i).scaffold() == Some(sc)).collect();
+            let members: Vec<usize> = (0..30)
+                .filter(|&i| ds.graph(i).scaffold() == Some(sc))
+                .collect();
             let first = subset_of(members[0]);
-            assert!(members.iter().all(|&m| subset_of(m) == first), "scaffold {sc} split across subsets");
+            assert!(
+                members.iter().all(|&m| subset_of(m) == first),
+                "scaffold {sc} split across subsets"
+            );
         }
     }
 
@@ -239,13 +252,21 @@ mod tests {
 
     #[test]
     fn validate_detects_overlap() {
-        let s = Split { train: vec![0, 1], val: vec![1], test: vec![] };
+        let s = Split {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![],
+        };
         assert!(s.validate(3).is_err());
     }
 
     #[test]
     fn validate_detects_out_of_range() {
-        let s = Split { train: vec![5], val: vec![], test: vec![] };
+        let s = Split {
+            train: vec![5],
+            val: vec![],
+            test: vec![],
+        };
         assert!(s.validate(3).is_err());
     }
 }

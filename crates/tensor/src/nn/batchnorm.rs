@@ -72,7 +72,11 @@ impl BatchNorm1d {
                 // Update running stats from the (detached) batch statistics.
                 let mu_v = tape.value(mu).clone();
                 let var_v = tape.value(var).clone();
-                let unbias = if n > 1 { n as f32 / (n as f32 - 1.0) } else { 1.0 };
+                let unbias = if n > 1 {
+                    n as f32 / (n as f32 - 1.0)
+                } else {
+                    1.0
+                };
                 self.running_mean = self
                     .running_mean
                     .mul_scalar(1.0 - self.momentum)
@@ -121,7 +125,9 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let mut bn = BatchNorm1d::new(4);
         let mut tape = Tape::new();
-        let data = Tensor::randn([64, 4], &mut rng).mul_scalar(3.0).add_scalar(5.0);
+        let data = Tensor::randn([64, 4], &mut rng)
+            .mul_scalar(3.0)
+            .add_scalar(5.0);
         let x = tape.constant(data);
         let y = bn.forward(&mut tape, x, Mode::Train);
         let yv = tape.value(y);
@@ -141,8 +147,16 @@ mod tests {
             let x = tape.constant(data);
             let _ = bn.forward(&mut tape, x, Mode::Train);
         }
-        assert!(bn.running_mean().data().iter().all(|m| (m - 2.0).abs() < 0.2));
-        assert!(bn.running_var().data().iter().all(|v| (v - 1.0).abs() < 0.3));
+        assert!(bn
+            .running_mean()
+            .data()
+            .iter()
+            .all(|m| (m - 2.0).abs() < 0.2));
+        assert!(bn
+            .running_var()
+            .data()
+            .iter()
+            .all(|v| (v - 1.0).abs() < 0.3));
         assert_eq!(bn.batches_seen(), 200);
     }
 

@@ -37,7 +37,11 @@ impl Embedding {
     /// Look up a batch of ids, producing `[ids.len(), dim]`.
     pub fn forward(&mut self, tape: &mut Tape, ids: &[usize]) -> NodeId {
         for &i in ids {
-            assert!(i < self.num_embeddings, "embedding id {i} out of range {}", self.num_embeddings);
+            assert!(
+                i < self.num_embeddings,
+                "embedding id {i} out of range {}",
+                self.num_embeddings
+            );
         }
         let w = self.weight.bind(tape);
         tape.index_select(w, Rc::new(ids.to_vec()))

@@ -22,7 +22,10 @@ impl Mlp {
     /// gives two Linear layers. `batch_norm` inserts BatchNorm after every
     /// hidden Linear (never after the output layer).
     pub fn new(sizes: &[usize], batch_norm: bool, rng: &mut Rng) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         let mut norms = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
@@ -47,7 +50,12 @@ impl Mlp {
     pub fn forward(&mut self, tape: &mut Tape, x: NodeId, mode: Mode) -> NodeId {
         let n_layers = self.layers.len();
         let mut h = x;
-        for (i, (layer, norm)) in self.layers.iter_mut().zip(self.norms.iter_mut()).enumerate() {
+        for (i, (layer, norm)) in self
+            .layers
+            .iter_mut()
+            .zip(self.norms.iter_mut())
+            .enumerate()
+        {
             h = layer.forward(tape, h);
             if let Some(bn) = norm {
                 h = bn.forward(tape, h, mode);

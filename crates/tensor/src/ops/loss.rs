@@ -15,7 +15,12 @@ use crate::tensor::Tensor;
 /// sample `i`. Returns a `[n]` node of losses `-log softmax(logits)[i, y_i]`.
 pub fn cross_entropy(tape: &mut Tape, logits: NodeId, targets: &[usize]) -> NodeId {
     let (n, c) = tape.shape(logits).as_matrix();
-    assert_eq!(n, targets.len(), "cross_entropy: {n} logits vs {} targets", targets.len());
+    assert_eq!(
+        n,
+        targets.len(),
+        "cross_entropy: {n} logits vs {} targets",
+        targets.len()
+    );
     let ls = tape.log_softmax(logits);
     let mut onehot_neg = Tensor::zeros([n, c]);
     for (i, &y) in targets.iter().enumerate() {
@@ -73,7 +78,12 @@ pub fn mse(tape: &mut Tape, preds: NodeId, targets: &Tensor) -> NodeId {
 /// as in Algorithm 1 line 9 of the paper).
 pub fn weighted_mean(tape: &mut Tape, per_sample: NodeId, weights: &Tensor) -> NodeId {
     let n = tape.shape(per_sample).numel();
-    assert_eq!(weights.numel(), n, "weighted_mean: {n} losses vs {} weights", weights.numel());
+    assert_eq!(
+        weights.numel(),
+        n,
+        "weighted_mean: {n} losses vs {} weights",
+        weights.numel()
+    );
     let w = tape.constant(weights.reshape([n]));
     let prod = tape.mul(per_sample, w);
     let s = tape.sum(prod);

@@ -166,11 +166,17 @@ impl Op {
                 let parts: Vec<&Tensor> = xs.iter().map(|id| tape.value(*id)).collect();
                 Tensor::vcat(&parts)
             }
-            Op::ConcatCols(xs) => concat_cols(&xs.iter().map(|id| tape.value(*id)).collect::<Vec<_>>()),
+            Op::ConcatCols(xs) => {
+                concat_cols(&xs.iter().map(|id| tape.value(*id)).collect::<Vec<_>>())
+            }
             Op::SliceRows(a, start, len) => {
                 let x = v(a);
                 let (r, c) = x.shape().as_matrix();
-                assert!(start + len <= r, "slice_rows [{start},{}) out of {r}", start + len);
+                assert!(
+                    start + len <= r,
+                    "slice_rows [{start},{}) out of {r}",
+                    start + len
+                );
                 let data = x.data()[start * c..(start + len) * c].to_vec();
                 Tensor::from_vec(data, [*len, c])
             }
@@ -433,7 +439,11 @@ fn concat_cols(parts: &[&Tensor]) -> Tensor {
 fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor, Vec<usize>) {
     let (r, c) = x.shape().as_matrix();
     assert_eq!(r, seg.len(), "segment ids must cover every row");
-    let init = if is_max { f32::NEG_INFINITY } else { f32::INFINITY };
+    let init = if is_max {
+        f32::NEG_INFINITY
+    } else {
+        f32::INFINITY
+    };
     let mut vals = Tensor::full([n, c], init);
     let mut args = vec![usize::MAX; n * c];
     for (i, &s) in seg.iter().enumerate() {
@@ -559,7 +569,13 @@ impl Tape {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (_, k) = self.shape(a).as_matrix();
         let (k2, _) = self.shape(b).as_matrix();
-        assert_eq!(k, k2, "matmul: inner dims {} vs {}", self.shape(a), self.shape(b));
+        assert_eq!(
+            k,
+            k2,
+            "matmul: inner dims {} vs {}",
+            self.shape(a),
+            self.shape(b)
+        );
         self.record(Op::Matmul(a, b))
     }
 
@@ -631,7 +647,11 @@ impl Tape {
     /// Reshape preserving element order.
     pub fn reshape(&mut self, a: NodeId, shape: impl Into<Shape>) -> NodeId {
         let shape = shape.into();
-        assert_eq!(self.shape(a).numel(), shape.numel(), "reshape numel mismatch");
+        assert_eq!(
+            self.shape(a).numel(),
+            shape.numel(),
+            "reshape numel mismatch"
+        );
         self.record(Op::Reshape(a, shape))
     }
 
@@ -835,7 +855,12 @@ mod tests {
         assert_eq!(tp.value(m).data(), &[2.5, 3.5, 4.5]);
         let s = tp.sum(m);
         let g = tp.backward(s);
-        assert!(g.get(x).unwrap().data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+        assert!(g
+            .get(x)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-6));
     }
 
     #[test]

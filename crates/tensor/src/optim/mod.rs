@@ -32,6 +32,22 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
+/// Global L2 norm of the gradients that reached a set of bound
+/// parameters: `sqrt(Σ_p ‖∂L/∂p‖²)`. Parameters without a binding or a
+/// gradient contribute zero. Call before [`Optimizer::step`] (which
+/// clears bindings).
+pub fn global_grad_norm(params: &[&mut Param], grads: &Gradients) -> f32 {
+    let mut sq = 0f64;
+    for p in params {
+        if let Some(node) = p.bound_node() {
+            if let Some(g) = grads.get(node) {
+                sq += g.data().iter().map(|&x| x as f64 * x as f64).sum::<f64>();
+            }
+        }
+    }
+    sq.sqrt() as f32
+}
+
 /// Clip a gradient to a maximum L2 norm; returns the (possibly scaled)
 /// gradient. A `max_norm` of 0 disables clipping.
 pub fn clip_grad(grad: &Tensor, max_norm: f32) -> Tensor {
@@ -71,5 +87,25 @@ mod tests {
         let g = Tensor::from_vec(vec![30.0, 40.0], [2]);
         let c = clip_grad(&g, 0.0);
         assert_eq!(c, g);
+    }
+
+    #[test]
+    fn global_grad_norm_sums_over_params() {
+        use crate::Tape;
+        let mut tape = Tape::new();
+        let mut a = Param::new(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let mut b = Param::new(Tensor::scalar(3.0));
+        let an = a.bind(&mut tape);
+        let bn = b.bind(&mut tape);
+        let sa = tape.sum(an); // d/da = [1, 1]
+        let sb = tape.mul_scalar(bn, 2.0); // d/db = 2
+        let loss = tape.add(sa, sb);
+        let grads = tape.backward(loss);
+        let mut params = vec![&mut a, &mut b];
+        let norm = global_grad_norm(&params, &grads);
+        assert!((norm - (1.0f32 + 1.0 + 4.0).sqrt()).abs() < 1e-6, "{norm}");
+        // Unbound params contribute nothing.
+        params.iter_mut().for_each(|p| p.clear_binding());
+        assert_eq!(global_grad_norm(&params, &grads), 0.0);
     }
 }

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { step: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            step: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { total: 100, min_factor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(100) - 0.1).abs() < 1e-6);
         assert!((s.factor(200) - 0.1).abs() < 1e-6); // clamped past the end
@@ -105,14 +111,20 @@ mod tests {
     #[test]
     fn apply_sets_optimizer_rate() {
         let mut opt = Sgd::new(0.1);
-        let s = LrSchedule::StepDecay { step: 5, gamma: 0.1 };
+        let s = LrSchedule::StepDecay {
+            step: 5,
+            gamma: 0.1,
+        };
         s.apply(&mut opt, 0.1, 5);
         assert!((opt.learning_rate() - 0.01).abs() < 1e-8);
     }
 
     #[test]
     fn monotone_cosine() {
-        let s = LrSchedule::Cosine { total: 50, min_factor: 0.0 };
+        let s = LrSchedule::Cosine {
+            total: 50,
+            min_factor: 0.0,
+        };
         let mut prev = f32::MAX;
         for e in 0..=50 {
             let f = s.factor(e);

@@ -19,7 +19,13 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, max_grad_norm: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            max_grad_norm: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Enable heavy-ball momentum.

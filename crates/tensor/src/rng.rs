@@ -1,41 +1,100 @@
 //! Deterministic random-number utilities.
 //!
-//! Wraps `rand::rngs::SmallRng` and adds the distributions the workspace
-//! needs (standard normal via Box–Muller, uniform ranges, permutations,
-//! categorical choice) without pulling in `rand_distr`.
+//! A self-contained xoshiro256++ generator (the algorithm behind
+//! `rand::rngs::SmallRng` on 64-bit targets, seeded through SplitMix64)
+//! plus the distributions the workspace needs: standard normal via
+//! Box–Muller, uniform ranges with unbiased rejection sampling (Lemire),
+//! permutations and categorical choice. No external dependencies, so the
+//! workspace builds offline.
 
-use rand::rngs::SmallRng;
-use rand::{Rng as _, SeedableRng};
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic RNG seeded from a `u64`. Every generator and trainer in
 /// the workspace takes one of these so experiments are reproducible.
 pub struct Rng {
-    inner: SmallRng,
+    s: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
 }
 
 impl Rng {
-    /// Create a generator from a 64-bit seed.
+    /// Create a generator from a 64-bit seed (SplitMix64 state expansion,
+    /// matching `SmallRng::seed_from_u64`).
     pub fn seed_from(seed: u64) -> Self {
-        Rng { inner: SmallRng::seed_from_u64(seed), spare_normal: None }
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        Rng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (the high half of [`Rng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Derive a child RNG with a decorrelated stream; useful for giving each
     /// sub-component (dataset shard, model init, dropout) its own stream.
     pub fn fork(&mut self, salt: u64) -> Rng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Rng::seed_from(s)
     }
 
-    /// Uniform `f32` in `[0, 1)`.
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits of a 32-bit draw.
     pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        const SCALE: f32 = 1.0 / (1u32 << 24) as f32;
+        (self.next_u32() >> 8) as f32 * SCALE
     }
 
     /// Uniform `f32` in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         lo + (hi - lo) * self.unit()
+    }
+
+    /// Unbiased uniform integer in `[0, range)` via widening-multiply
+    /// rejection sampling (Lemire's method).
+    fn below_u64(&mut self, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        // Accept v when the low half of v*range falls inside the zone that
+        // maps uniformly onto [0, range).
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let m = (v as u128) * (range as u128);
+            let lo = m as u64;
+            if lo <= zone {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -44,13 +103,18 @@ impl Rng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        self.below_u64(n as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let range = (hi - lo) as u64 + 1;
+        if range == 0 {
+            // Full u64 range: every output is valid.
+            return self.next_u64() as usize;
+        }
+        lo + self.below_u64(range) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -137,6 +201,31 @@ mod tests {
         let mut b = Rng::seed_from(2);
         let same = (0..32).filter(|_| a.unit() == b.unit()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut rng = Rng::seed_from(17);
+        for _ in 0..10_000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn below_is_uniform_and_in_range() {
+        let mut rng = Rng::seed_from(23);
+        let n = 7;
+        let mut counts = vec![0usize; n];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[rng.below(n)] += 1;
+        }
+        let expected = draws / n;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f32 - expected as f32).abs() / expected as f32;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expected}");
+        }
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn load_params(path: impl AsRef<Path>, params: Vec<&mut Param>) -> io::Resul
     if tensors.len() != params.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint has {} tensors, model has {} params", tensors.len(), params.len()),
+            format!(
+                "checkpoint has {} tensors, model has {} params",
+                tensors.len(),
+                params.len()
+            ),
         ));
     }
     for (p, t) in params.into_iter().zip(tensors) {
@@ -114,7 +118,11 @@ pub fn load_params(path: impl AsRef<Path>, params: Vec<&mut Param>) -> io::Resul
 /// `buffers_mut()` order.
 pub fn save_module(path: impl AsRef<Path>, module: &mut dyn crate::nn::Module) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
-    let mut tensors: Vec<Tensor> = module.params_mut().iter().map(|p| p.value.clone()).collect();
+    let mut tensors: Vec<Tensor> = module
+        .params_mut()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect();
     tensors.extend(module.buffers_mut().iter().map(|b| (**b).clone()));
     let refs: Vec<&Tensor> = tensors.iter().collect();
     write_tensors(io::BufWriter::new(file), &refs)

@@ -131,8 +131,16 @@ impl BroadcastMap {
         for i in 0..r {
             let da = if i < r - ra { 1 } else { a.0[i - (r - ra)] };
             let db = if i < r - rb { 1 } else { b.0[i - (r - rb)] };
-            let stride_a = if i < r - ra || da == 1 { 0 } else { sa[i - (r - ra)] };
-            let stride_b = if i < r - rb || db == 1 { 0 } else { sb[i - (r - rb)] };
+            let stride_a = if i < r - ra || da == 1 {
+                0
+            } else {
+                sa[i - (r - ra)]
+            };
+            let stride_b = if i < r - rb || db == 1 {
+                0
+            } else {
+                sb[i - (r - rb)]
+            };
             dims.push((so[i], stride_a, stride_b));
         }
         BroadcastMap { dims }
@@ -144,7 +152,9 @@ impl BroadcastMap {
         let mut ia = 0usize;
         let mut ib = 0usize;
         for &(so, sa, sb) in &self.dims {
-            let Some(coord) = out_idx.checked_div(so) else { continue };
+            let Some(coord) = out_idx.checked_div(so) else {
+                continue;
+            };
             out_idx -= coord * so;
             ia += coord * sa;
             ib += coord * sb;

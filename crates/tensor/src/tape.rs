@@ -46,6 +46,9 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
+    /// Bytes held by node values, mirrored into the global profiling
+    /// counters (added on push, released on drop).
+    arena_bytes: u64,
 }
 
 /// Gradients produced by [`Tape::backward`], indexed by [`NodeId`].
@@ -63,14 +66,16 @@ impl Gradients {
     /// Like [`Gradients::get`] but returns a zero tensor of the given shape
     /// when no gradient reached the node.
     pub fn get_or_zeros(&self, id: NodeId, shape: &Shape) -> Tensor {
-        self.get(id).cloned().unwrap_or_else(|| Tensor::zeros(shape.clone()))
+        self.get(id)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(shape.clone()))
     }
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
     }
 
     /// Number of recorded nodes.
@@ -112,7 +117,14 @@ impl Tape {
     }
 
     pub(crate) fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> NodeId {
-        self.nodes.push(Node { value, op, needs_grad });
+        let bytes = (value.numel() * std::mem::size_of::<f32>()) as u64;
+        crate::profile::record_op(&op, value.numel(), self.nodes.len() + 1, bytes);
+        self.arena_bytes += bytes;
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -129,6 +141,7 @@ impl Tape {
     /// # Panics
     /// Panics if `root`'s value is not a single element.
     pub fn backward(&self, root: NodeId) -> Gradients {
+        crate::profile::record_backward();
         assert_eq!(
             self.nodes[root.0].value.numel(),
             1,
@@ -138,7 +151,9 @@ impl Tape {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[root.0] = Some(Tensor::full(self.nodes[root.0].value.shape().clone(), 1.0));
         for i in (0..=root.0).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             let node = &self.nodes[i];
             if node.needs_grad {
                 for (input, g) in node.op.backward(self, &node.value, &grad) {
@@ -154,6 +169,12 @@ impl Tape {
             grads[i] = Some(grad);
         }
         Gradients { grads }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        crate::profile::release_bytes(self.arena_bytes);
     }
 }
 

@@ -35,13 +35,19 @@ impl Tensor {
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], shape: Shape::scalar() }
+        Tensor {
+            data: vec![v],
+            shape: Shape::scalar(),
+        }
     }
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// All-ones tensor of the given shape.
@@ -52,7 +58,10 @@ impl Tensor {
     /// Constant-filled tensor of the given shape.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![v; shape.numel()], shape }
+        Tensor {
+            data: vec![v; shape.numel()],
+            shape,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -110,7 +119,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -147,8 +161,16 @@ impl Tensor {
     /// Return a tensor with the same data and a new shape (numel must match).
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(self.numel(), shape.numel(), "reshape {} -> {shape}", self.shape);
-        Tensor { data: self.data.clone(), shape }
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "reshape {} -> {shape}",
+            self.shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// Transpose of a 2-D matrix.
@@ -193,11 +215,13 @@ impl Tensor {
                 .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect();
-            return Tensor { data, shape: self.shape.clone() };
+            return Tensor {
+                data,
+                shape: self.shape.clone(),
+            };
         }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
-            panic!("incompatible broadcast: {} vs {}", self.shape, other.shape)
-        });
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)
+            .unwrap_or_else(|| panic!("incompatible broadcast: {} vs {}", self.shape, other.shape));
         let map = BroadcastMap::new(&self.shape, &other.shape, &out_shape);
         let n = out_shape.numel();
         let mut data = Vec::with_capacity(n);
@@ -205,7 +229,10 @@ impl Tensor {
             let (ia, ib) = map.map(i);
             data.push(f(self.data[ia], other.data[ib]));
         }
-        Tensor { data, shape: out_shape }
+        Tensor {
+            data,
+            shape: out_shape,
+        }
     }
 
     /// Element-wise (broadcasting) addition.
@@ -328,7 +355,11 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (m, k) = self.shape.as_matrix();
         let (k2, n) = other.shape.as_matrix();
-        assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {} vs {}",
+            self.shape, other.shape
+        );
         let mut out = Tensor::zeros([m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -366,7 +397,10 @@ impl Tensor {
         assert_eq!(r, indices.len(), "scatter_add rows/indices mismatch");
         let mut out = Tensor::zeros([num_rows, c]);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < num_rows, "index {idx} out of range for {num_rows} rows");
+            assert!(
+                idx < num_rows,
+                "index {idx} out of range for {num_rows} rows"
+            );
             for j in 0..c {
                 out.data[idx * c + j] += self.data[i * c + j];
             }

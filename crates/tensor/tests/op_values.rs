@@ -4,7 +4,10 @@
 
 use ood_tensor::{Tape, Tensor};
 
-fn grad_of_sum(build: impl Fn(&mut Tape, ood_tensor::NodeId) -> ood_tensor::NodeId, input: Vec<f32>) -> Vec<f32> {
+fn grad_of_sum(
+    build: impl Fn(&mut Tape, ood_tensor::NodeId) -> ood_tensor::NodeId,
+    input: Vec<f32>,
+) -> Vec<f32> {
     let n = input.len();
     let mut tape = Tape::new();
     let x = tape.leaf(Tensor::from_vec(input, [n]));

@@ -1,0 +1,214 @@
+//! # ood-trace
+//!
+//! Zero-dependency structured telemetry for the OOD-GNN workspace:
+//!
+//! * [`span!`] / [`span::time`] — RAII timing spans with nesting and
+//!   monotonic durations.
+//! * [`metrics`] — a global registry of counters, gauges and histograms
+//!   (p50/p95/p99), flushed as one event per metric.
+//! * [`sink`] — pluggable destinations: a human-readable console sink
+//!   (stderr) and a machine-readable JSONL sink (one JSON object per
+//!   line, written under `results/telemetry/` by convention), plus an
+//!   in-memory sink for tests.
+//!
+//! The hot path is designed around the *detached* case: while no sink is
+//! attached, every recording call is a single relaxed atomic load and a
+//! branch. Attach sinks at process start (see `bench::telemetry`), stamp
+//! the run context with [`set_run`], and every event carries `run`,
+//! `seed` and `ts_us` (microseconds since the context was set).
+//!
+//! ```
+//! let sink = ood_trace::sink::MemorySink::shared();
+//! ood_trace::attach(Box::new(sink.clone()));
+//! ood_trace::set_run("demo", 7);
+//! {
+//!     let _epoch = ood_trace::span!("epoch");
+//!     ood_trace::metrics::observe("loss", 0.5);
+//! }
+//! ood_trace::metrics::flush();
+//! ood_trace::detach_all();
+//! assert_eq!(sink.events().len(), 2); // span close + histogram flush
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{Event, EventKind, Value};
+pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// True while at least one sink is attached: the fast-path gate for every
+/// recording call.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Global {
+    sinks: Vec<Box<dyn Sink>>,
+    run_id: String,
+    seed: u64,
+    started: Option<Instant>,
+}
+
+static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
+
+fn with_global(f: impl FnOnce(&mut Global)) {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(|| Global {
+        sinks: Vec::new(),
+        run_id: String::new(),
+        seed: 0,
+        started: None,
+    }));
+}
+
+/// Whether any sink is attached (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Attach a sink. The first attach arms the recording fast path.
+pub fn attach(sink: Box<dyn Sink>) {
+    with_global(|g| {
+        if g.started.is_none() {
+            g.started = Some(Instant::now());
+        }
+        g.sinks.push(sink);
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Flush and drop all sinks, clear the metrics registry and run context.
+/// Recording becomes a no-op again.
+pub fn detach_all() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(g) = guard.as_mut() {
+        for s in &mut g.sinks {
+            s.flush();
+        }
+        g.sinks.clear();
+        g.run_id.clear();
+        g.seed = 0;
+        g.started = None;
+    }
+    drop(guard);
+    metrics::reset();
+}
+
+/// Flush all attached sinks without detaching them.
+pub fn flush_sinks() {
+    if !enabled() {
+        return;
+    }
+    with_global(|g| {
+        for s in &mut g.sinks {
+            s.flush();
+        }
+    });
+}
+
+/// Set the run context stamped onto every event: a human-readable run id
+/// and the experiment seed. Resets the run clock (`ts_us` counts from
+/// here).
+pub fn set_run(run_id: impl Into<String>, seed: u64) {
+    with_global(|g| {
+        g.run_id = run_id.into();
+        g.seed = seed;
+        g.started = Some(Instant::now());
+    });
+}
+
+/// Stamp and deliver an event to every attached sink. No-op while
+/// disabled.
+pub fn emit(mut event: Event) {
+    if !enabled() {
+        return;
+    }
+    with_global(|g| {
+        if !g.run_id.is_empty() {
+            event.push("run", g.run_id.clone());
+            event.push("seed", g.seed);
+        }
+        if let Some(t0) = g.started {
+            event.push("ts_us", t0.elapsed().as_micros() as i64);
+        }
+        for s in &mut g.sinks {
+            s.emit(&event);
+        }
+    });
+}
+
+/// Emit a free-form structured event (kind `event`) with the given name
+/// and fields. No-op while disabled; callers building expensive payloads
+/// should gate on [`enabled`] first.
+pub fn emit_event(name: &str, fields: &[(&str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    let mut e = Event::new(EventKind::Event, name);
+    for (k, v) in fields {
+        e.push(*k, v.clone());
+    }
+    emit(e);
+}
+
+/// Serialize access to the process-wide telemetry state in tests (the
+/// global sink list is shared across the test harness's threads).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    detach_all();
+    guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_is_noop_when_detached() {
+        let _guard = test_lock();
+        // Must not panic or accumulate anything.
+        emit(Event::new(EventKind::Event, "orphan"));
+        metrics::counter_add("x", 1);
+        let sink = MemorySink::shared();
+        attach(Box::new(sink.clone()));
+        metrics::flush();
+        detach_all();
+        // The pre-attach counter increment was dropped.
+        assert!(sink.events().is_empty(), "{:?}", sink.events());
+    }
+
+    #[test]
+    fn multiple_sinks_receive_events() {
+        let _guard = test_lock();
+        let a = MemorySink::shared();
+        let b = MemorySink::shared();
+        attach(Box::new(a.clone()));
+        attach(Box::new(b.clone()));
+        emit_event("ping", &[("n", Value::Int(1))]);
+        detach_all();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn run_context_is_stamped() {
+        let _guard = test_lock();
+        let sink = MemorySink::shared();
+        attach(Box::new(sink.clone()));
+        set_run("r1", 99);
+        emit_event("ping", &[]);
+        detach_all();
+        let e = &sink.events()[0];
+        assert_eq!(e.field("run").unwrap().as_str(), Some("r1"));
+        assert_eq!(e.field("seed").unwrap().as_i64(), Some(99));
+    }
+}

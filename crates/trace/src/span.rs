@@ -1,0 +1,140 @@
+//! RAII timing spans with nesting.
+//!
+//! `let _g = trace::span!("epoch");` opens a span; when the guard drops, a
+//! [`EventKind::Span`] event is emitted carrying the full slash-joined
+//! path (`"train/epoch"`), nesting depth and monotonic duration in
+//! microseconds. When no sink is attached the guard is inert — opening a
+//! span costs one relaxed atomic load.
+
+use crate::event::{Event, EventKind};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of open span names on this thread.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for an open span; emits a span event on drop.
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    start: Instant,
+    depth: usize,
+    path: String,
+}
+
+/// Open a span. Prefer the [`crate::span!`] macro.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { state: None };
+    }
+    let (depth, path) = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        let path = stack.join("/");
+        (stack.len(), path)
+    });
+    SpanGuard {
+        state: Some(SpanState {
+            start: Instant::now(),
+            depth,
+            path,
+        }),
+    }
+}
+
+/// Time a closure inside a span and return its result.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _g = enter(name);
+    f()
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let dur_us = state.start.elapsed().as_micros() as i64;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own frame. Guards are dropped in reverse creation
+            // order within a thread, so this is the top unless a guard was
+            // leaked; truncate defends against that.
+            stack.truncate(state.depth.saturating_sub(1));
+        });
+        let event = Event::new(EventKind::Span, state.path)
+            .with("dur_us", dur_us)
+            .with("depth", state.depth);
+        crate::emit(event);
+    }
+}
+
+/// Open a timing span for the current scope; the argument must be a
+/// `&'static str` name.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::Value;
+
+    #[test]
+    fn nested_spans_record_paths_depths_and_monotonic_times() {
+        let _guard = crate::test_lock();
+        let sink = MemorySink::shared();
+        crate::attach(Box::new(sink.clone()));
+        {
+            let _outer = enter("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        crate::detach_all();
+        let events = sink.events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "outer/inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].field("depth"), Some(&Value::Int(2)));
+        assert_eq!(spans[1].field("depth"), Some(&Value::Int(1)));
+        let inner_us = spans[0].field("dur_us").unwrap().as_i64().unwrap();
+        let outer_us = spans[1].field("dur_us").unwrap().as_i64().unwrap();
+        assert!(inner_us >= 1_000, "inner {inner_us}us");
+        // The outer span contains the inner one: strictly longer.
+        assert!(
+            outer_us > inner_us,
+            "outer {outer_us}us vs inner {inner_us}us"
+        );
+    }
+
+    #[test]
+    fn spans_are_inert_without_sinks() {
+        let _guard = crate::test_lock();
+        crate::detach_all();
+        let g = enter("noop");
+        assert!(g.state.is_none());
+        // Stack must stay empty so later attached sinks see clean paths.
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let _guard = crate::test_lock();
+        assert_eq!(time("compute", || 21 * 2), 42);
+    }
+}

@@ -18,7 +18,11 @@ fn make_graph(class: usize, n: usize, biased: bool, rng: &mut Rng) -> Graph {
     let bias_value = if biased {
         // 85% label-correlated at train time: tempting but imperfect, so
         // reweighting has conflicting samples to amplify.
-        if rng.bernoulli(0.85) { class as f32 } else { 1.0 - class as f32 }
+        if rng.bernoulli(0.85) {
+            class as f32
+        } else {
+            1.0 - class as f32
+        }
     } else {
         rng.unit().round() // coin flip at test time
     };
@@ -65,7 +69,11 @@ fn main() {
             split.test.push(i);
         }
     }
-    let dataset = GraphDataset::new("rings-vs-stars", graphs, TaskType::MultiClass { classes: 2 });
+    let dataset = GraphDataset::new(
+        "rings-vs-stars",
+        graphs,
+        TaskType::MultiClass { classes: 2 },
+    );
     let bench = OodBenchmark { dataset, split };
     bench.validate().expect("valid split");
 
@@ -78,8 +86,18 @@ fn main() {
         bench.dataset.feature_dim()
     );
 
-    let model_cfg = ModelConfig { hidden: 16, layers: 2, dropout: 0.0, ..Default::default() };
-    let train_cfg = TrainConfig { epochs: 15, batch_size: 32, lr: 3e-3, ..Default::default() };
+    let model_cfg = ModelConfig {
+        hidden: 16,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 15,
+        batch_size: 32,
+        lr: 3e-3,
+        ..Default::default()
+    };
 
     let mut gin = GnnModel::baseline(
         BaselineKind::Gin,

@@ -14,7 +14,11 @@ use ood_gnn::prelude::*;
 fn main() {
     // BACE-like dataset, capped at 600 molecules for a fast run.
     let bench = ood_gnn::datasets::ogb::generate(OgbDataset::Bace, Some(600), 11);
-    println!("BACE-like: {} molecules, avg {:.1} atoms", bench.dataset.len(), bench.dataset.stats().1);
+    println!(
+        "BACE-like: {} molecules, avg {:.1} atoms",
+        bench.dataset.len(),
+        bench.dataset.stats().1
+    );
 
     // Demonstrate the spurious correlation: within the *training* split,
     // scaffold parity predicts the label far better than chance; on the
@@ -39,7 +43,9 @@ fn main() {
     );
 
     let scaffold_of = |ids: &[usize]| -> std::collections::BTreeSet<u32> {
-        ids.iter().map(|&i| bench.dataset.graph(i).scaffold().unwrap()).collect()
+        ids.iter()
+            .map(|&i| bench.dataset.graph(i).scaffold().unwrap())
+            .collect()
     };
     println!(
         "train scaffolds {:?} vs test scaffolds {:?} (disjoint)",
@@ -49,8 +55,18 @@ fn main() {
 
     // Train GIN vs OOD-GNN.
     let mut rng = Rng::seed_from(3);
-    let model_cfg = ModelConfig { hidden: 32, layers: 3, dropout: 0.1, ..Default::default() };
-    let train_cfg = TrainConfig { epochs: 15, batch_size: 32, lr: 2e-3, ..Default::default() };
+    let model_cfg = ModelConfig {
+        hidden: 32,
+        layers: 3,
+        dropout: 0.1,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 15,
+        batch_size: 32,
+        lr: 2e-3,
+        ..Default::default()
+    };
 
     let mut gin = GnnModel::baseline(
         BaselineKind::Gin,

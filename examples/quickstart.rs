@@ -21,8 +21,18 @@ fn main() {
 
     // 2. Train a plain GIN baseline by empirical risk minimization.
     let mut rng = Rng::seed_from(0);
-    let model_cfg = ModelConfig { hidden: 32, layers: 2, dropout: 0.1, ..Default::default() };
-    let train_cfg = TrainConfig { epochs: 20, batch_size: 32, lr: 3e-3, ..Default::default() };
+    let model_cfg = ModelConfig {
+        hidden: 32,
+        layers: 2,
+        dropout: 0.1,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 20,
+        batch_size: 32,
+        lr: 3e-3,
+        ..Default::default()
+    };
     let mut gin = GnnModel::baseline(
         BaselineKind::Gin,
         bench.dataset.feature_dim(),

@@ -30,7 +30,11 @@ fn accuracy_by_size_bucket(
             continue;
         }
         let acc = evaluate(model, &bench.dataset, &ids, 32, rng);
-        let label = if hi == usize::MAX { format!("{lo}+") } else { format!("{lo}-{hi}") };
+        let label = if hi == usize::MAX {
+            format!("{lo}+")
+        } else {
+            format!("{lo}-{hi}")
+        };
         out.push((label, acc, ids.len()));
     }
     out
@@ -45,8 +49,18 @@ fn main() {
     );
 
     let mut rng = Rng::seed_from(4);
-    let model_cfg = ModelConfig { hidden: 32, layers: 3, dropout: 0.1, ..Default::default() };
-    let train_cfg = TrainConfig { epochs: 20, batch_size: 32, lr: 2e-3, ..Default::default() };
+    let model_cfg = ModelConfig {
+        hidden: 32,
+        layers: 3,
+        dropout: 0.1,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 20,
+        batch_size: 32,
+        lr: 2e-3,
+        ..Default::default()
+    };
 
     // GIN baseline.
     let mut gin = GnnModel::baseline(

@@ -38,8 +38,16 @@ fn main() {
     let z = Tensor::from_vec(data, [n, d]);
 
     let cfg = OodGnnConfig {
-        model: ModelConfig { hidden: d, layers: 2, dropout: 0.0, ..Default::default() },
-        train: TrainConfig { batch_size: n, ..Default::default() },
+        model: ModelConfig {
+            hidden: d,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            batch_size: n,
+            ..Default::default()
+        },
         epoch_reweight: 120,
         weight_lr: 0.3,
         lambda: 0.002,
@@ -64,8 +72,7 @@ fn main() {
         "  learned weights : mean |corr| = {:.4}, max |corr| = {:.4}",
         after.mean_abs_correlation, after.max_abs_correlation
     );
-    let dep_weight: f32 =
-        learned_vec[..n / 2].iter().sum::<f32>() / (n / 2) as f32;
+    let dep_weight: f32 = learned_vec[..n / 2].iter().sum::<f32>() / (n / 2) as f32;
     let ind_weight: f32 = learned_vec[n / 2..].iter().sum::<f32>() / (n / 2) as f32;
     println!(
         "  avg weight of dependent rows {dep_weight:.3} vs independent rows {ind_weight:.3} (down-weighting the culprits)"
@@ -80,12 +87,27 @@ fn main() {
         bench.split.train.len()
     );
     let cfg = OodGnnConfig {
-        model: ModelConfig { hidden: 24, layers: 2, dropout: 0.0, ..Default::default() },
-        train: TrainConfig { epochs: 20, batch_size: 64, lr: 2e-3, ..Default::default() },
+        model: ModelConfig {
+            hidden: 24,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 20,
+            batch_size: 64,
+            lr: 2e-3,
+            ..Default::default()
+        },
         epoch_reweight: 20,
         ..Default::default()
     };
-    let mut model = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     let report = model.train(&bench, 5);
     let stats = weight_stats(&report.final_weights);
     println!(

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local pre-push gate: formatting, lints and the full test suite,
+# mirroring .github/workflows/ci.yml. Components whose tools are not
+# installed are skipped with a notice rather than failing the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check"
+    cargo fmt --all --check || status=1
+else
+    echo "== cargo fmt not installed; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy"
+    cargo clippy --workspace --all-targets -- -D warnings || status=1
+else
+    echo "== cargo clippy not installed; skipping"
+fi
+
+echo "== cargo test"
+cargo test --workspace --quiet || status=1
+
+if [ "$status" -ne 0 ]; then
+    echo "check.sh: FAILED" >&2
+else
+    echo "check.sh: all checks passed"
+fi
+exit "$status"

@@ -66,8 +66,22 @@ fn parse_args() -> BTreeMap<String, String> {
 }
 
 const DATASETS: [&str; 16] = [
-    "triangles", "mnistsp-noise", "mnistsp-color", "collab35", "proteins25", "dd200", "dd300",
-    "tox21", "bace", "bbbp", "clintox", "sider", "toxcast", "hiv", "esol", "freesolv",
+    "triangles",
+    "mnistsp-noise",
+    "mnistsp-color",
+    "collab35",
+    "proteins25",
+    "dd200",
+    "dd300",
+    "tox21",
+    "bace",
+    "bbbp",
+    "clintox",
+    "sider",
+    "toxcast",
+    "hiv",
+    "esol",
+    "freesolv",
 ];
 
 fn build_dataset(name: &str, frac: f32, ogb_cap: Option<usize>, seed: u64) -> OodBenchmark {
@@ -133,7 +147,9 @@ fn main() {
         }
         return;
     }
-    let Some(dataset) = args.get("dataset") else { usage() };
+    let Some(dataset) = args.get("dataset") else {
+        usage()
+    };
     let method = args.get("method").map(String::as_str).unwrap_or("ood-gnn");
     let get_f = |k: &str, d: f32| args.get(k).map(|v| v.parse().expect(k)).unwrap_or(d);
     let get_u = |k: &str, d: usize| args.get(k).map(|v| v.parse().expect(k)).unwrap_or(d);
@@ -207,8 +223,12 @@ fn main() {
             epoch_reweight: get_u("epoch-reweight", 15),
             ..Default::default()
         };
-        let mut model =
-            OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+        let mut model = OodGnn::new(
+            bench.dataset.feature_dim(),
+            bench.dataset.task(),
+            cfg,
+            &mut rng,
+        );
         let r = model.train(&bench, seed ^ 0x5151);
         let w = weight_stats(&r.final_weights);
         println!(

@@ -5,11 +5,21 @@
 use ood_gnn::prelude::*;
 
 fn small_train_cfg(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, batch_size: 16, lr: 3e-3, ..Default::default() }
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 3e-3,
+        ..Default::default()
+    }
 }
 
 fn small_model_cfg() -> ModelConfig {
-    ModelConfig { hidden: 16, layers: 2, dropout: 0.0, ..Default::default() }
+    ModelConfig {
+        hidden: 16,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -34,7 +44,12 @@ fn triangles_pipeline_baseline_and_oodgnn() {
         epoch_reweight: 3,
         ..Default::default()
     };
-    let mut ood = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut ood = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     let report = ood.train(&bench, 3);
     assert!(report.test_metric.is_finite());
     assert_eq!(report.final_weights.len(), bench.split.train.len());
@@ -45,7 +60,10 @@ fn multitask_molecule_pipeline() {
     // CLINTOX-like: 2 binary tasks with a scaffold split.
     let bench = ood_gnn::datasets::ogb::generate(OgbDataset::Clintox, Some(120), 5);
     bench.validate().unwrap();
-    assert_eq!(bench.dataset.task(), TaskType::BinaryClassification { tasks: 2 });
+    assert_eq!(
+        bench.dataset.task(),
+        TaskType::BinaryClassification { tasks: 2 }
+    );
     let mut rng = Rng::seed_from(6);
     let mut model = GnnModel::baseline(
         BaselineKind::GcnVirtual,
@@ -71,13 +89,21 @@ fn regression_pipeline() {
         epoch_reweight: 3,
         ..Default::default()
     };
-    let mut ood = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut ood = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     let report = ood.train(&bench, 10);
     assert!(report.test_metric >= 0.0, "rmse must be non-negative");
     // Training should reduce the loss.
     let first = report.loss_curve[0];
     let last = *report.loss_curve.last().unwrap();
-    assert!(last < first, "regression loss should fall: {first} -> {last}");
+    assert!(
+        last < first,
+        "regression loss should fall: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -112,14 +138,20 @@ fn mnistsp_noise_variants_share_structures() {
         20,
     );
     for (&i, &j) in clean.split.test.iter().zip(noise.split.test.iter()) {
-        assert_eq!(clean.dataset.graph(i).edges(), noise.dataset.graph(j).edges());
+        assert_eq!(
+            clean.dataset.graph(i).edges(),
+            noise.dataset.graph(j).edges()
+        );
     }
 }
 
 #[test]
 fn all_nine_baselines_run_on_one_batch() {
     let bench = ood_gnn::datasets::triangles::generate(&TrianglesConfig::scaled(0.01), 30);
-    let batch = GraphBatch::from_dataset(&bench.dataset, &bench.split.train[..8.min(bench.split.train.len())]);
+    let batch = GraphBatch::from_dataset(
+        &bench.dataset,
+        &bench.split.train[..8.min(bench.split.train.len())],
+    );
     let mut rng = Rng::seed_from(31);
     for kind in gnn::models::ALL_BASELINES {
         let mut m = GnnModel::baseline(
@@ -131,7 +163,12 @@ fn all_nine_baselines_run_on_one_batch() {
         );
         let mut tape = Tape::new();
         let out = m.predict(&mut tape, &batch, Mode::Train, &mut rng);
-        assert_eq!(tape.shape(out).dims(), &[batch.num_graphs, 10], "{}", kind.name());
+        assert_eq!(
+            tape.shape(out).dims(),
+            &[batch.num_graphs, 10],
+            "{}",
+            kind.name()
+        );
         assert!(!tape.value(out).has_non_finite(), "{}", kind.name());
     }
 }
@@ -147,8 +184,12 @@ fn determinism_across_identical_runs() {
             epoch_reweight: 2,
             ..Default::default()
         };
-        let mut ood =
-            OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+        let mut ood = OodGnn::new(
+            bench.dataset.feature_dim(),
+            bench.dataset.task(),
+            cfg,
+            &mut rng,
+        );
         let r = ood.train(&bench, 42);
         (r.test_metric, r.loss_curve, r.final_weights)
     };
@@ -169,7 +210,12 @@ fn oodgnn_weights_respect_constraint_after_training() {
         epoch_reweight: 5,
         ..Default::default()
     };
-    let mut ood = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut ood = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     let report = ood.train(&bench, 52);
     assert!(report.final_weights.iter().all(|&w| w > 0.0));
     let mean: f32 = report.final_weights.iter().sum::<f32>() / report.final_weights.len() as f32;

@@ -14,7 +14,12 @@ fn small_bench() -> OodBenchmark {
 fn checkpoint_roundtrip_preserves_predictions() {
     let bench = small_bench();
     let mut rng = Rng::seed_from(1);
-    let cfg = ModelConfig { hidden: 12, layers: 2, dropout: 0.0, ..Default::default() };
+    let cfg = ModelConfig {
+        hidden: 12,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    };
     let mut model = GnnModel::baseline(
         BaselineKind::Gin,
         bench.dataset.feature_dim(),
@@ -22,7 +27,11 @@ fn checkpoint_roundtrip_preserves_predictions() {
         &cfg,
         &mut rng,
     );
-    let train_cfg = TrainConfig { epochs: 3, batch_size: 16, ..Default::default() };
+    let train_cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
     let _ = train_erm(&mut model, &bench, &train_cfg, 2);
 
     let dir = std::env::temp_dir().join(format!("oodgnn_it_{}", std::process::id()));
@@ -60,7 +69,12 @@ fn checkpoint_roundtrip_preserves_predictions() {
 fn model_selection_tracks_best_validation_epoch() {
     let bench = small_bench();
     let mut rng = Rng::seed_from(3);
-    let cfg = ModelConfig { hidden: 12, layers: 2, dropout: 0.0, ..Default::default() };
+    let cfg = ModelConfig {
+        hidden: 12,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    };
     let mut model = GnnModel::baseline(
         BaselineKind::Gcn,
         bench.dataset.feature_dim(),
@@ -75,7 +89,9 @@ fn model_selection_tracks_best_validation_epoch() {
         ..Default::default()
     };
     let report = train_erm(&mut model, &bench, &train_cfg, 4);
-    let best = report.best_val_metric.expect("eval_every should record best val");
+    let best = report
+        .best_val_metric
+        .expect("eval_every should record best val");
     let test_at_best = report.test_at_best_val.expect("and the paired test metric");
     assert!((0.0..=1.0).contains(&best));
     assert!((0.0..=1.0).contains(&test_at_best));
@@ -89,12 +105,27 @@ fn oodgnn_supports_model_selection_too() {
     let bench = small_bench();
     let mut rng = Rng::seed_from(5);
     let cfg = OodGnnConfig {
-        model: ModelConfig { hidden: 12, layers: 2, dropout: 0.0, ..Default::default() },
-        train: TrainConfig { epochs: 4, batch_size: 16, eval_every: Some(2), ..Default::default() },
+        model: ModelConfig {
+            hidden: 12,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            eval_every: Some(2),
+            ..Default::default()
+        },
         epoch_reweight: 2,
         ..Default::default()
     };
-    let mut model = OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        cfg,
+        &mut rng,
+    );
     let report = model.train(&bench, 6);
     assert!(report.best_val_metric.is_some());
     assert!(report.test_at_best_val.is_some());
@@ -120,7 +151,11 @@ fn gat_and_sage_backbones_train() {
         let report = train_erm(
             &mut model,
             &bench,
-            &TrainConfig { epochs: 2, batch_size: 16, ..Default::default() },
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                ..Default::default()
+            },
             8,
         );
         assert!(report.test_metric.is_finite(), "{kind:?}");
@@ -134,14 +169,27 @@ fn oodgnn_runs_on_alternative_backbones() {
     let mut rng = Rng::seed_from(9);
     for kind in [ConvKind::Sage, ConvKind::Gcn] {
         let cfg = OodGnnConfig {
-            model: ModelConfig { hidden: 12, layers: 2, dropout: 0.0, ..Default::default() },
-            train: TrainConfig { epochs: 2, batch_size: 16, ..Default::default() },
+            model: ModelConfig {
+                hidden: 12,
+                layers: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                ..Default::default()
+            },
             epoch_reweight: 2,
             encoder: kind,
             ..Default::default()
         };
-        let mut model =
-            OodGnn::new(bench.dataset.feature_dim(), bench.dataset.task(), cfg, &mut rng);
+        let mut model = OodGnn::new(
+            bench.dataset.feature_dim(),
+            bench.dataset.task(),
+            cfg,
+            &mut rng,
+        );
         let report = model.train(&bench, 10);
         assert!(report.test_metric.is_finite(), "{kind:?}");
     }
@@ -154,7 +202,10 @@ fn lr_schedule_integrates_with_training_loop() {
     use ood_gnn::tensor::optim::{Adam, Optimizer};
     let mut p = Param::new(Tensor::scalar(0.0));
     let mut opt = Adam::new(0.1);
-    let schedule = LrSchedule::StepDecay { step: 2, gamma: 0.1 };
+    let schedule = LrSchedule::StepDecay {
+        step: 2,
+        gamma: 0.1,
+    };
     let mut rates = Vec::new();
     for epoch in 0..4 {
         schedule.apply(&mut opt, 0.1, epoch);
