@@ -13,7 +13,7 @@ fn loss_and_grad(z: &Tensor, kind: &DecorrelationKind, rng: &mut Rng) -> f32 {
     let mut tape = Tape::new();
     let zn = tape.constant(z.clone());
     let wn = tape.leaf(Tensor::ones([n]));
-    let loss = decorrelation_loss(&mut tape, zn, wn, kind, rng);
+    let loss = decorrelation_loss(&mut tape, zn, wn, kind, rng).expect("one weight per row");
     let g = tape.backward(loss);
     g.get(wn).map(|t| t.sum()).unwrap_or(0.0)
 }

@@ -11,7 +11,7 @@ use tensor::{Tape, Tensor};
 
 fn inner_step(mem: &GlobalMemory, z: &Tensor, w: &mut GraphWeights, opt: &mut Adam, rng: &mut Rng) {
     let b = z.nrows();
-    let (z_hat, w_hat) = mem.concat(z, w.values());
+    let (z_hat, w_hat) = mem.concat(z, w.values()).expect("aligned memory");
     let kb = z_hat.nrows() - b;
     let mut tape = Tape::new();
     let zn = tape.constant(z_hat);
@@ -23,7 +23,8 @@ fn inner_step(mem: &GlobalMemory, z: &Tensor, w: &mut GraphWeights, opt: &mut Ad
     } else {
         wl2
     };
-    let loss = decorrelation_loss(&mut tape, zn, w_full, &DecorrelationKind::Rff { q: 1 }, rng);
+    let loss = decorrelation_loss(&mut tape, zn, w_full, &DecorrelationKind::Rff { q: 1 }, rng)
+        .expect("one weight per row");
     let g = tape.backward(loss);
     opt.step(vec![w.param_mut()], &g);
     w.project();
@@ -36,7 +37,7 @@ fn bench_inner_step_vs_k(h: &mut Harness) {
         let mut rng = Rng::seed_from(1);
         let mut mem = GlobalMemory::with_uniform_gamma(k, b, d, 0.9);
         let z = Tensor::randn([b, d], &mut rng);
-        mem.update(&z, &Tensor::ones([b]));
+        mem.update(&z, &Tensor::ones([b])).expect("aligned memory");
         let mut w = GraphWeights::uniform(b);
         let mut opt = Adam::new(0.05);
         h.bench(&format!("inner_step_vs_k/{k}"), || {
@@ -52,7 +53,7 @@ fn bench_memory_update(h: &mut Harness) {
     let z = Tensor::randn([128, 64], &mut rng);
     let w = Tensor::ones([128]);
     h.bench("memory_update", || {
-        mem.update(&z, &w);
+        mem.update(&z, &w).expect("aligned memory");
         black_box(mem.group(0).0.sum())
     });
 }
@@ -62,9 +63,9 @@ fn bench_memory_concat(h: &mut Harness) {
     let mut mem = GlobalMemory::with_uniform_gamma(4, 128, 64, 0.9);
     let z = Tensor::randn([128, 64], &mut rng);
     let w = Tensor::ones([128]);
-    mem.update(&z, &w);
+    mem.update(&z, &w).expect("aligned memory");
     h.bench("memory_concat", || {
-        let (zh, wh) = mem.concat(&z, &w);
+        let (zh, wh) = mem.concat(&z, &w).expect("aligned memory");
         black_box(zh.sum() + wh.sum())
     });
 }

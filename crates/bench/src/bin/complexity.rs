@@ -78,7 +78,8 @@ fn main() {
                     wn,
                     &DecorrelationKind::Rff { q: 1 },
                     &mut rng,
-                );
+                )
+                .expect("one weight per row");
                 let g = tape.backward(loss);
                 opt.step(vec![w.param_mut()], &g);
                 w.project();
@@ -108,7 +109,8 @@ fn main() {
                     wn,
                     &DecorrelationKind::Rff { q: 1 },
                     &mut rng,
-                );
+                )
+                .expect("one weight per row");
                 let g = tape.backward(loss);
                 opt.step(vec![w.param_mut()], &g);
                 w.project();

@@ -6,6 +6,7 @@
 //! analysis and give downstream users a way to inspect trained models.
 
 use crate::decorrelation::{decorrelation_loss, DecorrelationKind};
+use crate::error::OodGnnError;
 use tensor::rng::Rng;
 use tensor::{Tape, Tensor};
 
@@ -23,9 +24,21 @@ pub struct DependenceReport {
 
 /// Weighted Pearson correlation matrix statistics of `z` (`[n, d]`) under
 /// weights `w` (`[n]`), plus the RFF objective at a fixed seed.
-pub fn dependence_report(z: &Tensor, w: &Tensor, seed: u64) -> DependenceReport {
+///
+/// # Errors
+/// [`OodGnnError::Shape`] when `w` does not hold one weight per row of `z`.
+pub fn dependence_report(
+    z: &Tensor,
+    w: &Tensor,
+    seed: u64,
+) -> Result<DependenceReport, OodGnnError> {
     let (n, d) = z.shape().as_matrix();
-    assert_eq!(w.numel(), n, "one weight per row");
+    if w.numel() != n {
+        return Err(OodGnnError::Shape(format!(
+            "dependence_report needs one weight per row: got {} weights for {n} rows",
+            w.numel()
+        )));
+    }
     // Weighted column means/stds.
     let wsum: f32 = w.data().iter().sum();
     let mut means = vec![0f32; d];
@@ -73,14 +86,14 @@ pub fn dependence_report(z: &Tensor, w: &Tensor, seed: u64) -> DependenceReport 
             wn,
             &DecorrelationKind::Rff { q: 1 },
             &mut rng,
-        );
+        )?;
         tape.value(l).item()
     };
-    DependenceReport {
+    Ok(DependenceReport {
         mean_abs_correlation: mean_abs,
         max_abs_correlation: max_abs,
         rff_objective,
-    }
+    })
 }
 
 /// Summary statistics of a learned weight vector (Figure 4's panel data).
@@ -129,7 +142,7 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let z = Tensor::randn([256, 4], &mut rng);
         let w = Tensor::ones([256]);
-        let rep = dependence_report(&z, &w, 7);
+        let rep = dependence_report(&z, &w, 7).unwrap();
         assert!(rep.mean_abs_correlation < 0.1, "{rep:?}");
     }
 
@@ -144,7 +157,7 @@ mod tests {
         }
         let z = Tensor::from_vec(data, [128, 2]);
         let w = Tensor::ones([128]);
-        let rep = dependence_report(&z, &w, 7);
+        let rep = dependence_report(&z, &w, 7).unwrap();
         assert!(rep.max_abs_correlation > 0.999, "{rep:?}");
     }
 
@@ -166,12 +179,21 @@ mod tests {
         for i in 0..n / 2 {
             down.data_mut()[i] = 0.05;
         }
-        let before = dependence_report(&z, &uniform, 7);
-        let after = dependence_report(&z, &down, 7);
+        let before = dependence_report(&z, &uniform, 7).unwrap();
+        let after = dependence_report(&z, &down, 7).unwrap();
         assert!(
             after.mean_abs_correlation < before.mean_abs_correlation,
             "{before:?} -> {after:?}"
         );
+    }
+
+    #[test]
+    fn weight_count_mismatch_is_a_typed_error() {
+        let mut rng = Rng::seed_from(4);
+        let z = Tensor::randn([8, 2], &mut rng);
+        let w = Tensor::ones([5]);
+        let err = dependence_report(&z, &w, 7).unwrap_err();
+        assert!(matches!(err, OodGnnError::Shape(_)), "{err}");
     }
 
     #[test]

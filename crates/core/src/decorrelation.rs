@@ -15,6 +15,7 @@
 //! of squared strict-upper-triangle entries over all `(q, q')`, costing
 //! `O(Q² n d²)` (linear in the sample size, as the paper requires).
 
+use crate::error::OodGnnError;
 use crate::rff::RffParams;
 use tensor::ops::Axis;
 use tensor::rng::Rng;
@@ -73,25 +74,34 @@ fn pair_penalty(tape: &mut Tape, u: NodeId, v: NodeId, mask: NodeId, n: usize) -
 /// draw them. Gradients flow into both `z` and `w`, so the same node serves
 /// the weight-optimization inner loop (with `z` detached) and any
 /// encoder-side use (with `w` detached).
+///
+/// # Errors
+/// Fails with [`OodGnnError::Shape`] when the weights are not rank 1 or 2
+/// or do not carry one entry per sample.
 pub fn decorrelation_loss(
     tape: &mut Tape,
     z: NodeId,
     w: NodeId,
     kind: &DecorrelationKind,
     rng: &mut Rng,
-) -> NodeId {
+) -> Result<NodeId, OodGnnError> {
     trace::metrics::counter_add("decorrelation/calls", 1);
     let (n, d) = tape.shape(z).as_matrix();
     let w = match tape.shape(w).rank() {
         1 => tape.reshape(w, [n, 1]),
         2 => w,
-        r => panic!("weights must be rank 1 or 2, got rank {r}"),
+        r => {
+            return Err(OodGnnError::Shape(format!(
+                "weights must be rank 1 or 2, got rank {r}"
+            )))
+        }
     };
-    assert_eq!(
-        tape.shape(w).dims(),
-        &[n, 1],
-        "weights must have one entry per sample"
-    );
+    if tape.shape(w).dims() != [n, 1] {
+        return Err(OodGnnError::Shape(format!(
+            "weights must have one entry per sample: {} vs [{n}, 1]",
+            tape.shape(w)
+        )));
+    }
     let mask = tape.constant(upper_triangle_mask(d));
     let loss = match kind {
         DecorrelationKind::Linear => {
@@ -127,7 +137,7 @@ pub fn decorrelation_loss(
     if trace::enabled() {
         trace::metrics::observe("decorrelation/loss", tape.value(loss).item() as f64);
     }
-    loss
+    Ok(loss)
 }
 
 /// Closed-form reference implementation of the **linear** decorrelation
@@ -161,6 +171,24 @@ mod tests {
     use tensor::check::assert_gradients;
 
     #[test]
+    fn bad_weight_rank_is_a_typed_error() {
+        let mut rng = Rng::seed_from(0);
+        let mut tape = Tape::new();
+        let zn = tape.constant(Tensor::randn([4, 3], &mut rng));
+        let wn = tape.constant(Tensor::zeros([4, 1, 1]));
+        let err = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("rank"), "{err}");
+        // Wrong per-sample count is also rejected.
+        let mut tape = Tape::new();
+        let zn = tape.constant(Tensor::randn([4, 3], &mut rng));
+        let wn = tape.constant(Tensor::zeros([3, 1]));
+        assert!(
+            decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng).is_err()
+        );
+    }
+
+    #[test]
     fn linear_variant_matches_reference() {
         let mut rng = Rng::seed_from(1);
         let z = Tensor::randn([16, 5], &mut rng);
@@ -168,7 +196,8 @@ mod tests {
         let mut tape = Tape::new();
         let zn = tape.leaf(z.clone());
         let wn = tape.leaf(w.clone());
-        let loss = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng);
+        let loss =
+            decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng).unwrap();
         let reference = linear_loss_reference(&z, &w);
         assert!(
             (tape.value(loss).item() - reference).abs() < 1e-4,
@@ -196,7 +225,7 @@ mod tests {
             let mut tape = Tape::new();
             let zn = tape.constant(z.clone());
             let wn = tape.leaf(w.clone());
-            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng);
+            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng).unwrap();
             tape.value(l).item()
         };
         let li = eval(&indep, &mut rng);
@@ -226,7 +255,7 @@ mod tests {
                 let mut tape = Tape::new();
                 let zn = tape.constant(z.clone());
                 let wn = tape.leaf(w.clone());
-                let l = decorrelation_loss(&mut tape, zn, wn, kind, &mut rng);
+                let l = decorrelation_loss(&mut tape, zn, wn, kind, &mut rng).unwrap();
                 acc += tape.value(l).item();
             }
             acc / reps as f32
@@ -247,7 +276,7 @@ mod tests {
         assert_gradients(&[w], 1e-3, 2e-2, move |tape, ids| {
             let mut r = Rng::seed_from(9);
             let zn = tape.constant(z.clone());
-            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Linear, &mut r)
+            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Linear, &mut r).unwrap()
         });
     }
 
@@ -260,7 +289,7 @@ mod tests {
         assert_gradients(&[w], 1e-3, 2e-2, move |tape, ids| {
             let mut r = Rng::seed_from(11);
             let zn = tape.constant(z.clone());
-            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Rff { q: 2 }, &mut r)
+            decorrelation_loss(tape, zn, ids[0], &DecorrelationKind::Rff { q: 2 }, &mut r).unwrap()
         });
     }
 
@@ -272,7 +301,7 @@ mod tests {
             let mut r = Rng::seed_from(13);
             let n = tape.shape(ids[0]).dim(0);
             let wn = tape.constant(Tensor::ones([n]));
-            decorrelation_loss(tape, ids[0], wn, &DecorrelationKind::Rff { q: 1 }, &mut r)
+            decorrelation_loss(tape, ids[0], wn, &DecorrelationKind::Rff { q: 1 }, &mut r).unwrap()
         });
     }
 
@@ -303,7 +332,8 @@ mod tests {
             let mut tape = Tape::new();
             let zn = tape.constant(z.clone());
             let wn = tape.leaf(w.clone());
-            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut r);
+            let l =
+                decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut r).unwrap();
             tape.value(l).item()
         };
         assert!(
@@ -324,7 +354,7 @@ mod tests {
             let mut tape = Tape::new();
             let zn = tape.constant(z);
             let wn = tape.leaf(w);
-            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng);
+            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng).unwrap();
             tape.value(l).item()
         };
         let small = eval_n(64, &mut rng);

@@ -1,0 +1,80 @@
+//! Typed errors for the OOD-GNN training runtime.
+//!
+//! Hot paths that previously panicked (weight-rank checks, memory
+//! dimension checks) now surface an [`OodGnnError`] through the trainer
+//! API, so callers can distinguish recoverable faults (an interrupted run,
+//! a stale checkpoint) from programming errors.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong inside the OOD-GNN training runtime.
+#[derive(Debug)]
+pub enum OodGnnError {
+    /// A tensor had the wrong rank/shape for the operation.
+    Shape(String),
+    /// A configuration value was rejected before training started.
+    InvalidConfig(String),
+    /// A checkpoint could not be decoded or does not match the run.
+    Checkpoint(String),
+    /// Filesystem failure while saving or loading a checkpoint.
+    Io(io::Error),
+    /// The run was killed mid-epoch (fault injection or external stop);
+    /// resume from the last checkpoint to continue.
+    Interrupted {
+        /// Epoch in which the interruption fired.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+    },
+}
+
+impl fmt::Display for OodGnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OodGnnError::Shape(msg) => write!(f, "shape error: {msg}"),
+            OodGnnError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            OodGnnError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            OodGnnError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            OodGnnError::Interrupted { epoch, batch } => {
+                write!(f, "training interrupted at epoch {epoch}, batch {batch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OodGnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OodGnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for OodGnnError {
+    fn from(e: io::Error) -> Self {
+        OodGnnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = OodGnnError::Interrupted { epoch: 3, batch: 7 };
+        assert!(e.to_string().contains("epoch 3"));
+        let e = OodGnnError::Shape("weights must be rank 1 or 2, got rank 3".into());
+        assert!(e.to_string().contains("rank 3"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "no such checkpoint");
+        let e: OodGnnError = io.into();
+        assert!(e.to_string().contains("no such checkpoint"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

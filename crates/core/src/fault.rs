@@ -1,0 +1,192 @@
+//! Seeded fault injection for exercising the training runtime's
+//! guardrails.
+//!
+//! A [`FaultPlan`] deterministically corrupts batch features with NaN/Inf
+//! values, perturbs the inner reweighting loop into divergence, and
+//! simulates a mid-epoch kill (surfaced as
+//! [`crate::OodGnnError::Interrupted`]). The plan draws from its **own**
+//! RNG stream, never the training stream, so a kill-only plan leaves the
+//! training trajectory untouched — the invariant behind the
+//! bitwise-identical kill+resume guarantee checked by `fault_drill`.
+
+use tensor::rng::Rng;
+use tensor::Tensor;
+
+/// A deterministic schedule of injected faults for one training run.
+pub struct FaultPlan {
+    rng: Rng,
+    nan_batch_prob: f32,
+    inner_spike_prob: f32,
+    kill_at: Option<(usize, usize)>,
+    injected_nan_batches: usize,
+    injected_spikes: usize,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled; seed only drives the plan's own
+    /// corruption stream.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            rng: Rng::seed_from(seed ^ 0xFA17_FA17_FA17_FA17),
+            nan_batch_prob: 0.0,
+            inner_spike_prob: 0.0,
+            kill_at: None,
+            injected_nan_batches: 0,
+            injected_spikes: 0,
+        }
+    }
+
+    /// Corrupt each batch's features with NaN/Inf entries with probability
+    /// `p`.
+    pub fn with_nan_batches(mut self, p: f32) -> Self {
+        self.nan_batch_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Blow up the inner reweighting loop with probability `p` per batch.
+    pub fn with_inner_spikes(mut self, p: f32) -> Self {
+        self.inner_spike_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Kill the run right before processing `(epoch, batch)`.
+    pub fn with_kill_at(mut self, epoch: usize, batch: usize) -> Self {
+        self.kill_at = Some((epoch, batch));
+        self
+    }
+
+    /// Whether the run should die before processing this batch. Draws no
+    /// randomness, so a kill-only plan is invisible to the training RNG.
+    pub fn should_kill(&self, epoch: usize, batch: usize) -> bool {
+        self.kill_at == Some((epoch, batch))
+    }
+
+    /// Maybe overwrite a few feature entries with NaN/Inf. Returns true
+    /// (and emits a `fault_injected` event) when the batch was corrupted.
+    pub fn maybe_corrupt_features(
+        &mut self,
+        features: &mut Tensor,
+        epoch: usize,
+        batch: usize,
+    ) -> bool {
+        if self.nan_batch_prob <= 0.0 || features.numel() == 0 {
+            return false;
+        }
+        if !self.rng.bernoulli(self.nan_batch_prob) {
+            return false;
+        }
+        let n = features.numel();
+        let hits = (n / 16).clamp(1, 8);
+        for _ in 0..hits {
+            let i = self.rng.below(n);
+            features.data_mut()[i] = if self.rng.bernoulli(0.5) {
+                f32::NAN
+            } else {
+                f32::INFINITY
+            };
+        }
+        self.injected_nan_batches += 1;
+        emit_fault("nan_batch", epoch, batch);
+        true
+    }
+
+    /// Decide whether this batch's inner loop gets a divergence spike.
+    /// Returns true (and emits a `fault_injected` event) on injection.
+    pub fn take_inner_spike(&mut self, epoch: usize, batch: usize) -> bool {
+        if self.inner_spike_prob <= 0.0 {
+            return false;
+        }
+        if !self.rng.bernoulli(self.inner_spike_prob) {
+            return false;
+        }
+        self.injected_spikes += 1;
+        emit_fault("inner_spike", epoch, batch);
+        true
+    }
+
+    /// Number of batches whose features were corrupted so far.
+    pub fn injected_nan_batches(&self) -> usize {
+        self.injected_nan_batches
+    }
+
+    /// Number of inner-loop spikes injected so far.
+    pub fn injected_spikes(&self) -> usize {
+        self.injected_spikes
+    }
+}
+
+fn emit_fault(kind: &str, epoch: usize, batch: usize) {
+    if trace::enabled() {
+        trace::emit_event(
+            "fault_injected",
+            &[
+                ("fault", kind.into()),
+                ("epoch", epoch.into()),
+                ("batch", batch.into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let mut plan = FaultPlan::seeded(1);
+        let mut t = Tensor::ones([8]);
+        assert!(!plan.maybe_corrupt_features(&mut t, 0, 0));
+        assert!(!plan.take_inner_spike(0, 0));
+        assert!(!plan.should_kill(0, 0));
+        assert!(t.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::seeded(seed).with_nan_batches(0.5);
+            let mut pattern = Vec::new();
+            for b in 0..32 {
+                let mut t = Tensor::ones([16]);
+                let hit = plan.maybe_corrupt_features(&mut t, 0, b);
+                pattern.push((hit, t.data().to_vec()));
+            }
+            (pattern, plan.injected_nan_batches())
+        };
+        let (a, na) = run(7);
+        let (b, nb) = run(7);
+        assert_eq!(na, nb);
+        assert!(na > 0, "p=0.5 over 32 batches must hit");
+        for ((ha, ta), (hb, tb)) in a.iter().zip(&b) {
+            assert_eq!(ha, hb);
+            assert_eq!(ta.len(), tb.len());
+            for (x, y) in ta.iter().zip(tb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_introduces_non_finite_values() {
+        let mut plan = FaultPlan::seeded(3).with_nan_batches(1.0);
+        let mut t = Tensor::ones([64]);
+        assert!(plan.maybe_corrupt_features(&mut t, 1, 2));
+        assert!(t.data().iter().any(|x| !x.is_finite()));
+    }
+
+    #[test]
+    fn kill_fires_exactly_at_target() {
+        let plan = FaultPlan::seeded(4).with_kill_at(2, 5);
+        assert!(plan.should_kill(2, 5));
+        assert!(!plan.should_kill(2, 4));
+        assert!(!plan.should_kill(1, 5));
+    }
+
+    #[test]
+    fn spike_probability_one_always_fires() {
+        let mut plan = FaultPlan::seeded(5).with_inner_spikes(1.0);
+        assert!(plan.take_inner_spike(0, 0));
+        assert_eq!(plan.injected_spikes(), 1);
+    }
+}

@@ -8,6 +8,7 @@
 //! consistent across the whole dataset at `O((K+1)|B|)` cost instead of
 //! `O(N)`.
 
+use crate::error::OodGnnError;
 use tensor::Tensor;
 
 /// One momentum memory group.
@@ -77,14 +78,32 @@ impl GlobalMemory {
     /// first update, or for partial batches (`rows ≠ |B|`), only the local
     /// data is returned (the memory cannot align with a different batch
     /// size).
-    pub fn concat(&self, local_z: &Tensor, local_w: &Tensor) -> (Tensor, Tensor) {
+    ///
+    /// # Errors
+    /// Fails if the representation dimension or weight count disagrees
+    /// with the memory layout.
+    pub fn concat(
+        &self,
+        local_z: &Tensor,
+        local_w: &Tensor,
+    ) -> Result<(Tensor, Tensor), OodGnnError> {
         let (rows, d) = local_z.shape().as_matrix();
-        assert_eq!(d, self.dim, "dim mismatch");
-        assert_eq!(local_w.numel(), rows, "weight count mismatch");
+        if d != self.dim {
+            return Err(OodGnnError::Shape(format!(
+                "memory concat: representation dim {d} vs memory dim {}",
+                self.dim
+            )));
+        }
+        if local_w.numel() != rows {
+            return Err(OodGnnError::Shape(format!(
+                "memory concat: {} weights for {rows} rows",
+                local_w.numel()
+            )));
+        }
         trace::metrics::counter_add("memory/concats", 1);
         if !self.initialized || rows != self.batch_size {
             trace::metrics::counter_add("memory/concats_local_only", 1);
-            return (local_z.clone(), local_w.reshape([rows]));
+            return Ok((local_z.clone(), local_w.reshape([rows])));
         }
         let mut zs: Vec<&Tensor> = self.groups.iter().map(|g| &g.z).collect();
         zs.push(local_z);
@@ -96,19 +115,27 @@ impl GlobalMemory {
         w_data.extend_from_slice(local_w.data());
         let len = w_data.len();
         let w_hat = Tensor::from_vec(w_data, [len]);
-        (z_hat, w_hat)
+        Ok((z_hat, w_hat))
     }
 
     /// Momentum update of every group with the optimized local batch
     /// (Eq. 9): `Z^(g_k) ← γ_k Z^(g_k) + (1−γ_k) Z^(l)` (same for `W`).
     /// The first full batch initializes all groups directly; partial
     /// batches are ignored.
-    pub fn update(&mut self, local_z: &Tensor, local_w: &Tensor) {
+    ///
+    /// # Errors
+    /// Fails if the representation dimension disagrees with the memory.
+    pub fn update(&mut self, local_z: &Tensor, local_w: &Tensor) -> Result<(), OodGnnError> {
         let (rows, d) = local_z.shape().as_matrix();
-        assert_eq!(d, self.dim, "dim mismatch");
+        if d != self.dim {
+            return Err(OodGnnError::Shape(format!(
+                "memory update: representation dim {d} vs memory dim {}",
+                self.dim
+            )));
+        }
         if rows != self.batch_size {
             trace::metrics::counter_add("memory/updates_skipped", 1);
-            return;
+            return Ok(());
         }
         trace::metrics::counter_add("memory/updates", 1);
         let w_flat = local_w.reshape([rows]);
@@ -118,7 +145,7 @@ impl GlobalMemory {
                 g.w = w_flat.clone();
             }
             self.initialized = true;
-            return;
+            return Ok(());
         }
         for g in &mut self.groups {
             g.z =
@@ -128,12 +155,65 @@ impl GlobalMemory {
                 g.w.mul_scalar(g.gamma)
                     .add(&w_flat.mul_scalar(1.0 - g.gamma));
         }
+        Ok(())
     }
 
     /// Inspect a group's memory (for tests/diagnostics).
     pub fn group(&self, k: usize) -> (&Tensor, &Tensor, f32) {
         let g = &self.groups[k];
         (&g.z, &g.w, g.gamma)
+    }
+
+    /// Export the memory contents for checkpointing: per group the `z`
+    /// then `w` tensors, plus the initialization flag. Layout parameters
+    /// (`K`, batch size, dim, gammas) come from the config and are not
+    /// exported.
+    pub fn export_state(&self) -> (Vec<Tensor>, bool) {
+        let mut tensors = Vec::with_capacity(2 * self.groups.len());
+        for g in &self.groups {
+            tensors.push(g.z.clone());
+            tensors.push(g.w.clone());
+        }
+        (tensors, self.initialized)
+    }
+
+    /// Restore contents exported by [`GlobalMemory::export_state`] into a
+    /// memory built with the same configuration.
+    ///
+    /// # Errors
+    /// Fails if the group count or any tensor shape disagrees.
+    pub fn import_state(
+        &mut self,
+        tensors: &[Tensor],
+        initialized: bool,
+    ) -> Result<(), OodGnnError> {
+        if tensors.len() != 2 * self.groups.len() {
+            return Err(OodGnnError::Checkpoint(format!(
+                "memory state has {} tensors, expected {} ({} groups)",
+                tensors.len(),
+                2 * self.groups.len(),
+                self.groups.len()
+            )));
+        }
+        for (k, g) in self.groups.iter().enumerate() {
+            let z = &tensors[2 * k];
+            let w = &tensors[2 * k + 1];
+            if z.shape() != g.z.shape() || w.shape() != g.w.shape() {
+                return Err(OodGnnError::Checkpoint(format!(
+                    "memory group {k} shape mismatch: {} / {} vs {} / {}",
+                    z.shape(),
+                    w.shape(),
+                    g.z.shape(),
+                    g.w.shape()
+                )));
+            }
+        }
+        for (k, g) in self.groups.iter_mut().enumerate() {
+            g.z = tensors[2 * k].clone();
+            g.w = tensors[2 * k + 1].clone();
+        }
+        self.initialized = initialized;
+        Ok(())
     }
 }
 
@@ -147,7 +227,7 @@ mod tests {
         let mem = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.9);
         let z = Tensor::ones([4, 3]);
         let w = Tensor::ones([4]);
-        let (zh, wh) = mem.concat(&z, &w);
+        let (zh, wh) = mem.concat(&z, &w).unwrap();
         assert_eq!(zh.shape().dims(), &[4, 3]);
         assert_eq!(wh.numel(), 4);
     }
@@ -157,9 +237,9 @@ mod tests {
         let mut mem = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.9);
         let z = Tensor::ones([4, 3]);
         let w = Tensor::ones([4]);
-        mem.update(&z, &w);
+        mem.update(&z, &w).unwrap();
         assert!(mem.is_initialized());
-        let (zh, wh) = mem.concat(&z, &w);
+        let (zh, wh) = mem.concat(&z, &w).unwrap();
         assert_eq!(zh.shape().dims(), &[12, 3]); // (K+1)|B| = 3*4
         assert_eq!(wh.numel(), 12);
     }
@@ -168,9 +248,9 @@ mod tests {
     fn momentum_update_converges_to_stream_mean() {
         let mut mem = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.5);
         let w = Tensor::ones([2]);
-        mem.update(&Tensor::zeros([2, 1]), &w); // init with zeros
+        mem.update(&Tensor::zeros([2, 1]), &w).unwrap(); // init with zeros
         for _ in 0..30 {
-            mem.update(&Tensor::ones([2, 1]), &w);
+            mem.update(&Tensor::ones([2, 1]), &w).unwrap();
         }
         let (z, _, gamma) = mem.group(0);
         assert_eq!(gamma, 0.5);
@@ -182,10 +262,10 @@ mod tests {
         let mut long = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.95);
         let mut short = GlobalMemory::with_uniform_gamma(1, 2, 1, 0.1);
         let w = Tensor::ones([2]);
-        long.update(&Tensor::zeros([2, 1]), &w);
-        short.update(&Tensor::zeros([2, 1]), &w);
-        long.update(&Tensor::ones([2, 1]), &w);
-        short.update(&Tensor::ones([2, 1]), &w);
+        long.update(&Tensor::zeros([2, 1]), &w).unwrap();
+        short.update(&Tensor::zeros([2, 1]), &w).unwrap();
+        long.update(&Tensor::ones([2, 1]), &w).unwrap();
+        short.update(&Tensor::ones([2, 1]), &w).unwrap();
         // Short-term memory moves much further toward the newest batch.
         assert!(short.group(0).0.data()[0] > long.group(0).0.data()[0] + 0.5);
     }
@@ -195,18 +275,18 @@ mod tests {
         let mut mem = GlobalMemory::with_uniform_gamma(1, 4, 2, 0.9);
         let z4 = Tensor::ones([4, 2]);
         let w4 = Tensor::ones([4]);
-        mem.update(&z4, &w4);
+        mem.update(&z4, &w4).unwrap();
         let before = mem.group(0).0.clone();
         let z3 = Tensor::full([3, 2], 99.0);
         let w3 = Tensor::ones([3]);
-        mem.update(&z3, &w3);
+        mem.update(&z3, &w3).unwrap();
         assert_eq!(
             mem.group(0).0,
             &before,
             "partial batch must not corrupt memory"
         );
         // And concat with a partial batch returns local only.
-        let (zh, _) = mem.concat(&z3, &w3);
+        let (zh, _) = mem.concat(&z3, &w3).unwrap();
         assert_eq!(zh.shape().dims(), &[3, 2]);
     }
 
@@ -226,8 +306,8 @@ mod tests {
         for _ in 0..5 {
             let z = Tensor::randn([4, 3], &mut rng);
             let w = Tensor::rand_uniform([4], 0.5, 1.5, &mut rng);
-            a.update(&z, &w);
-            b.update(&z, &w);
+            a.update(&z, &w).unwrap();
+            b.update(&z, &w).unwrap();
         }
         assert_eq!(a.group(1).0, b.group(1).0);
         assert_eq!(a.group(1).1, b.group(1).1);
@@ -237,5 +317,38 @@ mod tests {
     #[should_panic(expected = "momentum must be in")]
     fn rejects_gamma_one() {
         let _ = GlobalMemory::new(2, 2, &[1.0]);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_groups() {
+        let mut rng = Rng::seed_from(9);
+        let mut src = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.8);
+        for _ in 0..3 {
+            let z = Tensor::randn([4, 3], &mut rng);
+            let w = Tensor::rand_uniform([4], 0.5, 1.5, &mut rng);
+            src.update(&z, &w).unwrap();
+        }
+        let (tensors, initialized) = src.export_state();
+        let mut dst = GlobalMemory::with_uniform_gamma(2, 4, 3, 0.8);
+        dst.import_state(&tensors, initialized).unwrap();
+        assert_eq!(dst.is_initialized(), src.is_initialized());
+        for k in 0..2 {
+            assert_eq!(dst.group(k).0, src.group(k).0);
+            assert_eq!(dst.group(k).1, src.group(k).1);
+        }
+        // Wrong layout is rejected.
+        let mut other = GlobalMemory::with_uniform_gamma(1, 4, 3, 0.8);
+        assert!(other.import_state(&tensors, initialized).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_is_an_error_not_a_panic() {
+        let mut mem = GlobalMemory::with_uniform_gamma(1, 4, 3, 0.9);
+        let z = Tensor::ones([4, 2]);
+        let w = Tensor::ones([4]);
+        assert!(mem.concat(&z, &w).is_err());
+        assert!(mem.update(&z, &w).is_err());
+        let z_ok = Tensor::ones([4, 3]);
+        assert!(mem.concat(&z_ok, &Tensor::ones([3])).is_err());
     }
 }

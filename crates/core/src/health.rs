@@ -1,0 +1,188 @@
+//! Numerical-health guardrails for the training loop.
+//!
+//! The inner reweighting of Algorithm 1 is numerically fragile: a bad RFF
+//! draw or a corrupted batch can produce non-finite decorrelation losses
+//! or exploding weights, and one NaN would otherwise poison the encoder
+//! parameters for the rest of the run. The policy here is
+//! **clip → retry → uniform fallback**:
+//!
+//! 1. gradient clipping is always on in the outer optimizer;
+//! 2. a diverged inner loop is retried with a backed-off `weight_lr`
+//!    (bounded number of retries);
+//! 3. when retries are exhausted the batch degrades to uniform weights
+//!    (plain weighted ERM), which can never diverge;
+//! 4. non-finite encodings, losses or gradients skip the offending step
+//!    entirely rather than applying it.
+//!
+//! Every intervention is emitted as a `trace` anomaly event
+//! (`nan_detected`, `inner_retry`, `fallback_uniform`) so faults stay
+//! visible in the telemetry stream.
+
+use tensor::Tensor;
+
+/// Guardrail policy knobs.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Enable per-step non-finite checks (encodings, losses, gradients).
+    /// Disabling skips the checks but keeps the code path identical
+    /// otherwise.
+    pub check_finite: bool,
+    /// Maximum inner-loop retries after divergence before falling back to
+    /// uniform weights.
+    pub max_inner_retries: usize,
+    /// Multiplier applied to the inner `weight_lr` on each retry.
+    pub retry_backoff: f32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            check_finite: true,
+            max_inner_retries: 2,
+            retry_backoff: 0.5,
+        }
+    }
+}
+
+/// Counters of every guardrail intervention during a run, reported back
+/// through [`crate::OodGnnReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Batches whose encoded representations contained non-finite values
+    /// (the whole batch is skipped).
+    pub nan_batches: usize,
+    /// Outer optimizer steps skipped because the loss or gradients were
+    /// non-finite.
+    pub skipped_steps: usize,
+    /// Inner-loop retries after a diverged reweighting.
+    pub inner_retries: usize,
+    /// Batches that degraded to uniform weights after retries ran out.
+    pub uniform_fallbacks: usize,
+}
+
+impl HealthReport {
+    /// True when no guardrail ever fired.
+    pub fn is_clean(&self) -> bool {
+        *self == HealthReport::default()
+    }
+
+    /// Total number of interventions of any kind.
+    pub fn total_interventions(&self) -> usize {
+        self.nan_batches + self.skipped_steps + self.inner_retries + self.uniform_fallbacks
+    }
+}
+
+/// True when every entry of the tensor is finite.
+pub fn all_finite(t: &Tensor) -> bool {
+    t.data().iter().all(|x| x.is_finite())
+}
+
+/// Emit a `nan_detected` anomaly event (no-op when tracing is off).
+pub fn emit_nan_detected(stage: &str, epoch: usize, batch: usize) {
+    if trace::enabled() {
+        trace::emit_event(
+            "nan_detected",
+            &[
+                ("stage", stage.into()),
+                ("epoch", epoch.into()),
+                ("batch", batch.into()),
+            ],
+        );
+    }
+}
+
+/// Emit an `inner_retry` anomaly event.
+pub fn emit_inner_retry(epoch: usize, batch: usize, attempt: usize, lr: f32) {
+    if trace::enabled() {
+        trace::emit_event(
+            "inner_retry",
+            &[
+                ("epoch", epoch.into()),
+                ("batch", batch.into()),
+                ("attempt", attempt.into()),
+                ("weight_lr", lr.into()),
+            ],
+        );
+    }
+}
+
+/// Emit a `fallback_uniform` anomaly event.
+pub fn emit_fallback_uniform(epoch: usize, batch: usize, retries: usize) {
+    if trace::enabled() {
+        trace::emit_event(
+            "fallback_uniform",
+            &[
+                ("epoch", epoch.into()),
+                ("batch", batch.into()),
+                ("retries", retries.into()),
+            ],
+        );
+    }
+}
+
+/// Emit a `checkpoint_saved` event.
+pub fn emit_checkpoint_saved(epochs_done: usize, path: &std::path::Path) {
+    if trace::enabled() {
+        trace::emit_event(
+            "checkpoint_saved",
+            &[
+                ("epoch", epochs_done.into()),
+                ("path", path.display().to_string().into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&Tensor::ones([2, 2])));
+        let mut t = Tensor::ones([4]);
+        t.data_mut()[2] = f32::NAN;
+        assert!(!all_finite(&t));
+        let mut t = Tensor::ones([4]);
+        t.data_mut()[0] = f32::INFINITY;
+        assert!(!all_finite(&t));
+    }
+
+    #[test]
+    fn default_policy_retries_with_backoff() {
+        let p = HealthPolicy::default();
+        assert!(p.check_finite);
+        assert!(p.max_inner_retries >= 1);
+        assert!(p.retry_backoff > 0.0 && p.retry_backoff < 1.0);
+    }
+
+    #[test]
+    fn clean_report_has_no_interventions() {
+        let r = HealthReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.total_interventions(), 0);
+        let r = HealthReport {
+            nan_batches: 1,
+            inner_retries: 2,
+            ..Default::default()
+        };
+        assert!(!r.is_clean());
+        assert_eq!(r.total_interventions(), 3);
+    }
+
+    #[test]
+    fn anomaly_events_reach_attached_sinks() {
+        let _guard = crate::test_support::telemetry_lock();
+        let sink = trace::MemorySink::shared();
+        trace::attach(Box::new(sink.clone()));
+        emit_nan_detected("encode", 1, 2);
+        emit_inner_retry(1, 2, 1, 0.1);
+        emit_fallback_uniform(1, 2, 2);
+        trace::detach_all();
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"nan_detected"), "{names:?}");
+        assert!(names.contains(&"inner_retry"), "{names:?}");
+        assert!(names.contains(&"fallback_uniform"), "{names:?}");
+    }
+}

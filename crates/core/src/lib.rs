@@ -21,16 +21,47 @@
 //! 4. The **training loop** ([`trainer`]) alternates `Epoch_Reweight` inner
 //!    steps on the weights with one weighted-ERM step on encoder +
 //!    classifier (Algorithm 1).
+//!
+//! The training runtime is **fault tolerant**: [`checkpoint`] snapshots the
+//! full training state atomically and resumes to a bitwise-identical loss
+//! curve, [`health`] guards every step against non-finite values with a
+//! clip → retry → uniform-fallback policy, and [`fault`] injects seeded
+//! faults for drills. Failures surface as typed [`OodGnnError`]s instead of
+//! panics.
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod decorrelation;
+pub mod error;
+pub mod fault;
 pub mod global_local;
+pub mod health;
 pub mod rff;
 pub mod trainer;
 pub mod weights;
 
+pub use checkpoint::{CheckpointConfig, TrainCheckpoint};
 pub use decorrelation::{decorrelation_loss, DecorrelationKind};
+pub use error::OodGnnError;
+pub use fault::FaultPlan;
 pub use global_local::GlobalMemory;
+pub use health::{HealthPolicy, HealthReport};
 pub use rff::RffParams;
-pub use trainer::{OodGnn, OodGnnConfig, OodGnnReport};
+pub use trainer::{OodGnn, OodGnnConfig, OodGnnReport, TrainOptions};
 pub use weights::GraphWeights;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serialize tests that attach/detach the process-global trace sinks.
+    pub fn telemetry_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        trace::detach_all();
+        guard
+    }
+}

@@ -21,7 +21,7 @@ fn decorrelation_loss_is_nonnegative() {
             let mut tape = Tape::new();
             let zn = tape.constant(z.clone());
             let wn = tape.leaf(Tensor::ones([8]));
-            let l = decorrelation_loss(&mut tape, zn, wn, &kind, &mut rng);
+            let l = decorrelation_loss(&mut tape, zn, wn, &kind, &mut rng).unwrap();
             assert!(tape.value(l).item() >= 0.0, "seed {seed} kind {kind:?}");
             assert!(
                 tape.value(l).item().is_finite(),
@@ -41,7 +41,8 @@ fn linear_loss_matches_reference_on_random_input() {
         let mut tape = Tape::new();
         let zn = tape.constant(z.clone());
         let wn = tape.leaf(w.clone());
-        let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng);
+        let l =
+            decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, &mut rng).unwrap();
         let reference = oodgnn_core::decorrelation::linear_loss_reference(&z, &w);
         let got = tape.value(l).item();
         assert!(
@@ -120,7 +121,7 @@ fn memory_stays_within_convex_hull() {
             let b = random_matrix(&mut rng, 4, 2);
             lo = lo.min(b.min());
             hi = hi.max(b.max());
-            mem.update(&b, &w);
+            mem.update(&b, &w).unwrap();
         }
         let (z, _, _) = mem.group(0);
         assert!(
@@ -139,10 +140,10 @@ fn concat_layout_is_globals_then_local() {
         let z = random_matrix(&mut rng, 4, 2);
         let mut mem = GlobalMemory::with_uniform_gamma(2, 4, 2, 0.9);
         let w = Tensor::ones([4]);
-        mem.update(&z, &w);
+        mem.update(&z, &w).unwrap();
         let local = z.mul_scalar(2.0);
         let wl = Tensor::full([4], 0.5);
-        let (zh, wh) = mem.concat(&local, &wl);
+        let (zh, wh) = mem.concat(&local, &wl).unwrap();
         assert_eq!(zh.shape().dims(), &[12, 2], "seed {seed}");
         // Last block must equal the local batch, last weights the local ones.
         for i in 0..4 {

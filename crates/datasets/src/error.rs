@@ -1,0 +1,41 @@
+//! Typed errors for the dataset generators.
+//!
+//! Every generator has a `try_generate` entry point that validates its
+//! configuration up front and returns a [`DatasetError`] instead of
+//! panicking mid-generation; the plain `generate` functions keep their
+//! infallible signatures for valid configs.
+
+use std::fmt;
+
+/// Why a dataset could not be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A configuration field is out of its valid range.
+    InvalidConfig(String),
+    /// The requested task layout is not supported by this generator.
+    UnsupportedTask(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DatasetError::UnsupportedTask(msg) => write!(f, "unsupported task: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = DatasetError::InvalidConfig("n_train must be > 0".into());
+        assert!(e.to_string().contains("n_train"));
+        let e = DatasetError::UnsupportedTask("multi-class molecules".into());
+        assert!(e.to_string().contains("multi-class"));
+    }
+}

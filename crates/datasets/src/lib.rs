@@ -20,6 +20,7 @@
 //! [`graph::GraphDataset`] together with the OOD [`graph::Split`] that the
 //! paper's protocol prescribes.
 
+pub mod error;
 pub mod metrics;
 pub mod mnistsp;
 pub mod molgen;
@@ -27,6 +28,8 @@ pub mod ogb;
 pub mod social;
 pub mod stats;
 pub mod triangles;
+
+pub use error::DatasetError;
 
 /// A dataset bundled with its OOD train/val/test split.
 pub struct OodBenchmark {

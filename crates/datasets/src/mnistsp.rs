@@ -20,6 +20,7 @@
 //! the channels — the shift mechanism, noisy/colored intensities at test
 //! time only, is preserved).
 
+use crate::error::DatasetError;
 use crate::OodBenchmark;
 use graph::{Graph, GraphDataset, Label, Split, TaskType};
 use tensor::rng::Rng;
@@ -96,6 +97,7 @@ pub const FEATURE_DIM: usize = 5;
 
 /// Stroke template for one digit: a list of polylines in `[0,1]²`.
 fn digit_strokes(digit: usize) -> Vec<Vec<(f32, f32)>> {
+    debug_assert!(digit < NUM_CLASSES, "digit {digit} out of range");
     // Hand-designed skeletons; coordinates are (x, y) with y growing upward.
     match digit {
         0 => vec![vec![
@@ -178,7 +180,9 @@ fn digit_strokes(digit: usize) -> Vec<Vec<(f32, f32)>> {
                 (0.5, 0.5),
             ],
         ],
-        9 => vec![vec![
+        // Digits are always drawn below NUM_CLASSES; fold any larger value
+        // onto the 9 skeleton instead of panicking deep in generation.
+        _ => vec![vec![
             (0.72, 0.6),
             (0.5, 0.75),
             (0.3, 0.65),
@@ -189,7 +193,6 @@ fn digit_strokes(digit: usize) -> Vec<Vec<(f32, f32)>> {
             (0.65, 0.3),
             (0.5, 0.1),
         ]],
-        _ => panic!("digit {digit} out of range"),
     }
 }
 
@@ -312,6 +315,33 @@ pub fn apply_noise(g: &mut Graph, variant: NoiseVariant, std: f32, rng: &mut Rng
     }
 }
 
+/// Generate the benchmark, validating the configuration first.
+///
+/// # Errors
+/// [`DatasetError::InvalidConfig`] when a split is empty, the superpixel
+/// budget or k-NN degree is zero, or the noise level is not a finite
+/// non-negative number.
+pub fn try_generate(config: &MnistSpConfig, seed: u64) -> Result<OodBenchmark, DatasetError> {
+    if config.n_train == 0 {
+        return Err(DatasetError::InvalidConfig("n_train must be > 0".into()));
+    }
+    if config.max_superpixels == 0 {
+        return Err(DatasetError::InvalidConfig(
+            "max_superpixels must be > 0".into(),
+        ));
+    }
+    if config.knn == 0 {
+        return Err(DatasetError::InvalidConfig("knn must be > 0".into()));
+    }
+    if !config.noise_std.is_finite() || config.noise_std < 0.0 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "noise_std {} must be finite and ≥ 0",
+            config.noise_std
+        )));
+    }
+    Ok(generate(config, seed))
+}
+
 /// Generate the benchmark: clean train/val graphs plus a test set with the
 /// configured noise variant applied.
 pub fn generate(config: &MnistSpConfig, seed: u64) -> OodBenchmark {
@@ -355,6 +385,24 @@ pub fn generate(config: &MnistSpConfig, seed: u64) -> OodBenchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_generate_validates_config() {
+        let bad = MnistSpConfig {
+            knn: 0,
+            ..MnistSpConfig::scaled(0.005)
+        };
+        assert!(matches!(
+            try_generate(&bad, 1),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        let nan_noise = MnistSpConfig {
+            noise_std: f32::NAN,
+            ..MnistSpConfig::scaled(0.005)
+        };
+        assert!(try_generate(&nan_noise, 1).is_err());
+        assert!(try_generate(&MnistSpConfig::scaled(0.005), 1).is_ok());
+    }
 
     #[test]
     fn superpixel_budget_respected() {

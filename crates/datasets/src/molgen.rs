@@ -26,6 +26,7 @@
 //!
 //! Node features: one-hot atom type (6) + in-ring flag + degree/4 → 8 dims.
 
+use crate::error::DatasetError;
 use graph::{Graph, Label, TaskType};
 use tensor::rng::Rng;
 use tensor::Tensor;
@@ -400,9 +401,52 @@ fn assemble(
     g
 }
 
+/// Generate a molecular dataset, validating the configuration first.
+///
+/// # Errors
+/// [`DatasetError::UnsupportedTask`] for multi-class task layouts
+/// (molecular property prediction is multi-task binary or regression);
+/// [`DatasetError::InvalidConfig`] for empty datasets, a label density
+/// outside `(0, 1]`, a negative bias, or an inverted motif range.
+pub fn try_generate_molecules(
+    config: &MolConfig,
+    seed: u64,
+) -> Result<(Vec<Graph>, LabelMechanism), DatasetError> {
+    if let TaskType::MultiClass { .. } = config.task {
+        return Err(DatasetError::UnsupportedTask(
+            "molecules are multi-task binary or regression, not multi-class".into(),
+        ));
+    }
+    if config.n_graphs == 0 {
+        return Err(DatasetError::InvalidConfig("n_graphs must be > 0".into()));
+    }
+    if !(config.label_density > 0.0 && config.label_density <= 1.0) {
+        return Err(DatasetError::InvalidConfig(format!(
+            "label_density {} must lie in (0, 1]",
+            config.label_density
+        )));
+    }
+    if !config.bias.is_finite() || config.bias < 0.0 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "bias {} must be finite and ≥ 0",
+            config.bias
+        )));
+    }
+    if config.motifs_per_mol.0 > config.motifs_per_mol.1 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "motifs_per_mol range ({}, {}) is inverted",
+            config.motifs_per_mol.0, config.motifs_per_mol.1
+        )));
+    }
+    Ok(generate_molecules(config, seed))
+}
+
 /// Generate a molecular dataset (graphs only — pair with
 /// [`graph::split::scaffold_split`] for the OOD split, or use
-/// [`crate::ogb::generate`] which does both).
+/// [`crate::ogb::generate`] which does both). Prefer
+/// [`try_generate_molecules`] for untrusted configurations: a multi-class
+/// task layout falls back to single-task binary labels here instead of
+/// producing an error.
 pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMechanism) {
     let mut rng = Rng::seed_from(seed);
     let tasks = config.task.output_dim();
@@ -427,7 +471,16 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
         let n_motifs = rng.range_inclusive(config.motifs_per_mol.0, config.motifs_per_mol.1);
         let counts = sample_motifs(&mech, n_motifs, tilt, dir, &mut rng);
         let label = match config.task {
-            TaskType::BinaryClassification { tasks } => {
+            TaskType::Regression { targets } => {
+                let v = (0..targets)
+                    .map(|t| mech.score(t, &counts) + rng.normal() * mech.noise_std)
+                    .collect();
+                Label::Regression(v)
+            }
+            // Binary layout. Multi-class is not meaningful for molecules —
+            // `try_generate_molecules` rejects it with a typed error; here
+            // it degrades to one binary task per class.
+            _ => {
                 let mut values = Vec::with_capacity(tasks);
                 let mut mask = Vec::with_capacity(tasks);
                 for t in 0..tasks {
@@ -441,13 +494,6 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
                 }
                 Label::MultiBinary { values, mask }
             }
-            TaskType::Regression { targets } => {
-                let v = (0..targets)
-                    .map(|t| mech.score(t, &counts) + rng.normal() * mech.noise_std)
-                    .collect();
-                Label::Regression(v)
-            }
-            TaskType::MultiClass { .. } => panic!("molecules are binary/regression tasks"),
         };
         graphs.push(assemble(
             scaffold,
@@ -464,6 +510,36 @@ pub fn generate_molecules(config: &MolConfig, seed: u64) -> (Vec<Graph>, LabelMe
 mod tests {
     use super::*;
     use graph::algo::is_connected;
+
+    #[test]
+    fn multi_class_task_is_a_typed_error() {
+        let cfg = MolConfig {
+            task: TaskType::MultiClass { classes: 3 },
+            ..Default::default()
+        };
+        assert!(matches!(
+            try_generate_molecules(&cfg, 1),
+            Err(DatasetError::UnsupportedTask(_))
+        ));
+    }
+
+    #[test]
+    fn try_generate_validates_config() {
+        let cfg = MolConfig {
+            label_density: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            try_generate_molecules(&cfg, 1),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        let cfg = MolConfig {
+            n_graphs: 50,
+            ..Default::default()
+        };
+        let (graphs, _) = try_generate_molecules(&cfg, 1).unwrap();
+        assert_eq!(graphs.len(), 50);
+    }
 
     #[test]
     fn scaffold_library_is_valid() {

@@ -7,6 +7,7 @@
 //! capped for CPU-scale experiments; the scaffold-split protocol
 //! (frequency-ordered 80/10/10) matches OGB's.
 
+use crate::error::DatasetError;
 use crate::molgen::{generate_molecules, MolConfig};
 use crate::OodBenchmark;
 use graph::split::scaffold_split;
@@ -136,6 +137,25 @@ impl OgbDataset {
     }
 }
 
+/// Generate an OGB-like benchmark, validating the inputs first.
+///
+/// # Errors
+/// [`DatasetError::InvalidConfig`] when `cap` is `Some(0)` (an empty
+/// dataset cannot be scaffold-split).
+pub fn try_generate(
+    which: OgbDataset,
+    cap: Option<usize>,
+    seed: u64,
+) -> Result<OodBenchmark, DatasetError> {
+    if cap == Some(0) {
+        return Err(DatasetError::InvalidConfig(format!(
+            "{}: cap must be > 0 molecules",
+            which.name()
+        )));
+    }
+    Ok(generate(which, cap, seed))
+}
+
 /// Generate an OGB-like benchmark. `cap` bounds the number of molecules
 /// (`None` = paper scale); the scaffold split is 80/10/10 by scaffold
 /// frequency, exactly the OGB protocol.
@@ -159,6 +179,15 @@ pub fn generate(which: OgbDataset, cap: Option<usize>, seed: u64) -> OodBenchmar
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_generate_rejects_empty_cap() {
+        assert!(matches!(
+            try_generate(OgbDataset::Bace, Some(0), 1),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        assert!(try_generate(OgbDataset::Bace, Some(120), 1).is_ok());
+    }
 
     #[test]
     fn all_datasets_generate_and_split() {

@@ -18,6 +18,7 @@
 //!
 //! Node features are one-hot clamped degrees, size-invariant per node.
 
+use crate::error::DatasetError;
 use crate::OodBenchmark;
 use graph::algo::one_hot_degree_features;
 use graph::{Graph, GraphDataset, Label, Split, TaskType};
@@ -315,6 +316,42 @@ fn log_uniform_size(lo: usize, hi: usize, rng: &mut Rng) -> usize {
     (rng.uniform(l, h).exp().round() as usize).clamp(lo, hi)
 }
 
+/// Generate a size-shift benchmark, validating the configuration first.
+///
+/// # Errors
+/// [`DatasetError::InvalidConfig`] when a split is empty, a size range is
+/// inverted or degenerate, or the bias is outside `[0, 1]`.
+pub fn try_generate(config: &SocialConfig, seed: u64) -> Result<OodBenchmark, DatasetError> {
+    if config.n_train == 0 {
+        return Err(DatasetError::InvalidConfig("n_train must be > 0".into()));
+    }
+    for (name, (lo, hi)) in [
+        ("train_sizes", config.train_sizes),
+        ("test_sizes", config.test_sizes),
+    ] {
+        if lo > hi {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{name} range ({lo}, {hi}) is inverted"
+            )));
+        }
+        if lo < 3 {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{name} minimum {lo} is too small for a structured graph (need ≥ 3 nodes)"
+            )));
+        }
+    }
+    if !(0.0..=1.0).contains(&config.bias) {
+        return Err(DatasetError::InvalidConfig(format!(
+            "bias {} must lie in [0, 1]",
+            config.bias
+        )));
+    }
+    if config.max_degree == 0 {
+        return Err(DatasetError::InvalidConfig("max_degree must be > 0".into()));
+    }
+    Ok(generate(config, seed))
+}
+
 /// Generate a size-shift benchmark for the given configuration.
 pub fn generate(config: &SocialConfig, seed: u64) -> OodBenchmark {
     let mut rng = Rng::seed_from(seed);
@@ -357,6 +394,20 @@ pub fn generate(config: &SocialConfig, seed: u64) -> OodBenchmark {
 mod tests {
     use super::*;
     use graph::algo::{is_connected, triangle_count};
+
+    #[test]
+    fn try_generate_validates_config() {
+        let mut bad = SocialConfig::proteins25(0.3);
+        bad.bias = 1.5;
+        assert!(matches!(
+            try_generate(&bad, 1),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        let mut inverted = SocialConfig::proteins25(0.3);
+        inverted.test_sizes = (40, 30);
+        assert!(try_generate(&inverted, 1).is_err());
+        assert!(try_generate(&SocialConfig::proteins25(0.3), 1).is_ok());
+    }
 
     /// Mean triangles-per-node over repeated draws of a builder.
     fn mean_triangle_rate(build: impl Fn(&mut Rng) -> Graph, rng: &mut Rng, reps: usize) -> f32 {

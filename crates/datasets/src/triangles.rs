@@ -9,6 +9,7 @@
 //! clamped at a fixed maximum so train and test share a schema, exactly as
 //! in the paper ("node features are set as one-hot degrees").
 
+use crate::error::DatasetError;
 use crate::OodBenchmark;
 use graph::algo::{one_hot_degree_features, triangle_count};
 use graph::{Graph, GraphDataset, Label, Split, TaskType};
@@ -89,6 +90,37 @@ fn sample_graph(n: usize, max_degree: usize, rng: &mut Rng) -> Graph {
     }
 }
 
+/// Generate the TRIANGLES benchmark, validating the configuration first.
+///
+/// # Errors
+/// [`DatasetError::InvalidConfig`] when a split is empty, a node range is
+/// inverted, or graphs are too small to ever contain a triangle (the
+/// rejection sampler would spin forever).
+pub fn try_generate(config: &TrianglesConfig, seed: u64) -> Result<OodBenchmark, DatasetError> {
+    if config.n_train == 0 {
+        return Err(DatasetError::InvalidConfig("n_train must be > 0".into()));
+    }
+    for (name, (lo, hi)) in [
+        ("train_nodes", config.train_nodes),
+        ("test_nodes", config.test_nodes),
+    ] {
+        if lo > hi {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{name} range ({lo}, {hi}) is inverted"
+            )));
+        }
+        if lo < 3 {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{name} minimum {lo} cannot contain a triangle (need ≥ 3 nodes)"
+            )));
+        }
+    }
+    if config.max_degree == 0 {
+        return Err(DatasetError::InvalidConfig("max_degree must be > 0".into()));
+    }
+    Ok(generate(config, seed))
+}
+
 /// Generate the TRIANGLES benchmark (dataset + size-based split).
 pub fn generate(config: &TrianglesConfig, seed: u64) -> OodBenchmark {
     let mut rng = Rng::seed_from(seed);
@@ -121,6 +153,24 @@ pub fn generate(config: &TrianglesConfig, seed: u64) -> OodBenchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_generate_validates_config() {
+        let bad = TrianglesConfig {
+            train_nodes: (2, 1),
+            ..TrianglesConfig::scaled(0.02)
+        };
+        assert!(matches!(
+            try_generate(&bad, 1),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        let tiny = TrianglesConfig {
+            test_nodes: (2, 5),
+            ..TrianglesConfig::scaled(0.02)
+        };
+        assert!(try_generate(&tiny, 1).is_err());
+        assert!(try_generate(&TrianglesConfig::scaled(0.02), 1).is_ok());
+    }
 
     #[test]
     fn labels_match_actual_triangle_counts() {

@@ -103,6 +103,30 @@ impl BestTracker {
     pub fn into_parts(self) -> (Option<f32>, Option<f32>) {
         (self.best_val, self.test_at_best)
     }
+
+    /// Peek at `(best_val, test_at_best_val)` without consuming — used
+    /// when checkpointing mid-run.
+    pub fn parts(&self) -> (Option<f32>, Option<f32>) {
+        (self.best_val, self.test_at_best)
+    }
+
+    /// Whether this tracker prefers lower validation metrics.
+    pub fn lower_is_better(&self) -> bool {
+        self.lower_is_better
+    }
+
+    /// Rebuild a tracker from checkpointed state.
+    pub fn from_parts(
+        lower_is_better: bool,
+        best_val: Option<f32>,
+        test_at_best: Option<f32>,
+    ) -> Self {
+        BestTracker {
+            lower_is_better,
+            best_val,
+            test_at_best,
+        }
+    }
 }
 
 /// Build the per-sample loss vector for a batch of dataset indices.

@@ -1,9 +1,19 @@
-//! Binary checkpointing of tensors and module parameters.
+//! Binary checkpointing of tensors, module parameters and full training
+//! state.
 //!
-//! A minimal, dependency-free format (`OODT` magic, version byte, little-
-//! endian f32 payloads) sufficient to save and restore trained models:
-//! parameters are stored positionally, and shapes are verified on load so
-//! a checkpoint can only be restored into an identically-structured model.
+//! Two minimal, dependency-free formats built from the same little-endian
+//! primitives:
+//!
+//! * **Tensor lists** (`OODT` magic): positional parameter/buffer dumps
+//!   sufficient to save and restore trained models; shapes are verified on
+//!   load so a checkpoint can only be restored into an
+//!   identically-structured model.
+//! * **[`Snapshot`]s** (`OODS` magic): named sections each carrying
+//!   tensors, `u64`s and `f32`s — enough to capture *everything* a training
+//!   run needs to resume bitwise-identically (optimizer moments, RNG state,
+//!   loss curves, sample weights, …). Snapshots are written atomically
+//!   (write-tmp + rename) so a crash mid-save never corrupts the previous
+//!   checkpoint.
 
 use crate::nn::Param;
 use crate::shape::Shape;
@@ -13,6 +23,39 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"OODT";
 const VERSION: u8 = 1;
+const SNAPSHOT_MAGIC: &[u8; 4] = b"OODS";
+const SNAPSHOT_VERSION: u8 = 1;
+
+fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
+    let dims = t.shape().dims();
+    w.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for &d in dims {
+        w.write_all(&(d as u32).to_le_bytes())?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "rank too large"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u32(r)? as usize);
+    }
+    let shape = Shape::new(&dims);
+    let mut data = vec![0f32; shape.numel()];
+    let mut buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(Tensor::from_vec(data, shape))
+}
 
 /// Write a sequence of tensors to a writer.
 pub fn write_tensors<W: Write>(mut w: W, tensors: &[&Tensor]) -> io::Result<()> {
@@ -20,14 +63,7 @@ pub fn write_tensors<W: Write>(mut w: W, tensors: &[&Tensor]) -> io::Result<()> 
     w.write_all(&[VERSION])?;
     w.write_all(&(tensors.len() as u32).to_le_bytes())?;
     for t in tensors {
-        let dims = t.shape().dims();
-        w.write_all(&(dims.len() as u32).to_le_bytes())?;
-        for &d in dims {
-            w.write_all(&(d as u32).to_le_bytes())?;
-        }
-        for &v in t.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        write_tensor(&mut w, t)?;
     }
     Ok(())
 }
@@ -50,22 +86,7 @@ pub fn read_tensors<R: Read>(mut r: R) -> io::Result<Vec<Tensor>> {
     let count = read_u32(&mut r)? as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let rank = read_u32(&mut r)? as usize;
-        if rank > 8 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "rank too large"));
-        }
-        let mut dims = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            dims.push(read_u32(&mut r)? as usize);
-        }
-        let shape = Shape::new(&dims);
-        let mut data = vec![0f32; shape.numel()];
-        let mut buf = [0u8; 4];
-        for v in &mut data {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
-        out.push(Tensor::from_vec(data, shape));
+        out.push(read_tensor(&mut r)?);
     }
     Ok(out)
 }
@@ -74,6 +95,174 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// One named section of a [`Snapshot`]: a tensor list plus integer and
+/// float side-channels (step counters, RNG words, curve values, flags).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Section {
+    /// Section name (unique within a snapshot by convention).
+    pub name: String,
+    /// Tensor payload (parameters, optimizer moments, memory groups, …).
+    pub tensors: Vec<Tensor>,
+    /// Integer payload (epoch counters, RNG state words, indices, flags).
+    pub ints: Vec<u64>,
+    /// Float payload (loss curves, learned weights, tracker metrics).
+    pub floats: Vec<f32>,
+}
+
+impl Section {
+    /// An empty section with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Section {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A multi-section training-state checkpoint (see module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Sections, in insertion order.
+    pub sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Append a section.
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Look up a section by name (first match).
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Serialize to a writer (`OODS` magic, version byte, section count,
+    /// then each section as name / tensors / ints / floats).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(SNAPSHOT_MAGIC)?;
+        w.write_all(&[SNAPSHOT_VERSION])?;
+        w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        for s in &self.sections {
+            let name = s.name.as_bytes();
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name)?;
+            w.write_all(&(s.tensors.len() as u32).to_le_bytes())?;
+            for t in &s.tensors {
+                write_tensor(&mut w, t)?;
+            }
+            w.write_all(&(s.ints.len() as u32).to_le_bytes())?;
+            for &v in &s.ints {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            w.write_all(&(s.floats.len() as u32).to_le_bytes())?;
+            for &v in &s.floats {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Snapshot> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad snapshot magic",
+            ));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != SNAPSHOT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported snapshot version {}", version[0]),
+            ));
+        }
+        let n_sections = read_u32(&mut r)? as usize;
+        let mut sections = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let name_len = read_u32(&mut r)? as usize;
+            if name_len > 4096 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "section name too long",
+                ));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let n_tensors = read_u32(&mut r)? as usize;
+            let mut tensors = Vec::with_capacity(n_tensors);
+            for _ in 0..n_tensors {
+                tensors.push(read_tensor(&mut r)?);
+            }
+            let n_ints = read_u32(&mut r)? as usize;
+            let mut ints = Vec::with_capacity(n_ints);
+            for _ in 0..n_ints {
+                ints.push(read_u64(&mut r)?);
+            }
+            let n_floats = read_u32(&mut r)? as usize;
+            let mut floats = Vec::with_capacity(n_floats);
+            let mut buf = [0u8; 4];
+            for _ in 0..n_floats {
+                r.read_exact(&mut buf)?;
+                floats.push(f32::from_le_bytes(buf));
+            }
+            sections.push(Section {
+                name,
+                tensors,
+                ints,
+                floats,
+            });
+        }
+        Ok(Snapshot { sections })
+    }
+
+    /// Atomically save to `path`: the snapshot is written to a sibling
+    /// `.tmp` file, flushed, and renamed over the target, so a crash
+    /// mid-save leaves any previous checkpoint intact.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = io::BufWriter::new(file);
+            self.write_to(&mut w)?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a snapshot saved with [`Snapshot::save_atomic`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Snapshot> {
+        let file = std::fs::File::open(path)?;
+        Snapshot::read_from(io::BufReader::new(file))
+    }
 }
 
 /// Save a module's parameters (in `params_mut()` order) to a file.
@@ -259,6 +448,66 @@ mod tests {
             tape.value(y).clone()
         };
         assert!(eval(&mut src).max_abs_diff(&eval(&mut dst)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_in_memory() {
+        let mut rng = Rng::seed_from(5);
+        let mut snap = Snapshot::new();
+        let mut model = Section::new("model");
+        model.tensors.push(Tensor::randn([3, 2], &mut rng));
+        model.tensors.push(Tensor::randn([2], &mut rng));
+        snap.push(model);
+        let mut meta = Section::new("meta");
+        meta.ints = vec![1, 42, u64::MAX];
+        meta.floats = vec![0.5, -1.25, f32::MIN_POSITIVE];
+        snap.push(meta);
+        snap.push(Section::new("empty"));
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let back = Snapshot::read_from(&buf[..]).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.section("meta").unwrap().ints[1], 42);
+        assert!(back.section("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_magic() {
+        let buf = b"OODT\x01\x00\x00\x00\x00".to_vec();
+        assert!(Snapshot::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_atomic_replaces_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join(format!("oods_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.snap");
+        let mut first = Snapshot::new();
+        let mut s = Section::new("meta");
+        s.ints = vec![1];
+        first.push(s);
+        first.save_atomic(&path).unwrap();
+        // Overwrite with a second snapshot: rename must replace in place.
+        let mut second = Snapshot::new();
+        let mut s = Section::new("meta");
+        s.ints = vec![2];
+        second.push(s);
+        second.save_atomic(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.section("meta").unwrap().ints, vec![2]);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_save_atomic_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("oods_nest_{}", std::process::id()));
+        let path = dir.join("a/b/run.snap");
+        Snapshot::new().save_atomic(&path).unwrap();
+        assert!(path.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

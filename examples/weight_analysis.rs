@@ -59,10 +59,12 @@ fn main() {
     let mut model = OodGnn::new(4, TaskType::MultiClass { classes: 2 }, cfg, &mut rng);
 
     let uniform = Tensor::ones([n]);
-    let learned_vec = model.reweight(&z, &mut rng);
+    let learned_vec = model
+        .reweight(&z, &mut rng)
+        .expect("reweight on [n, d] input");
     let learned = Tensor::from_vec(learned_vec.clone(), [n]);
-    let before = dependence_report(&z, &uniform, 11);
-    let after = dependence_report(&z, &learned, 11);
+    let before = dependence_report(&z, &uniform, 11).expect("one weight per row");
+    let after = dependence_report(&z, &learned, 11).expect("one weight per row");
     println!("mechanism demo (dependence carried by half the samples):");
     println!(
         "  uniform weights : mean |corr| = {:.4}, max |corr| = {:.4}",

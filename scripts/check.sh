@@ -24,6 +24,9 @@ fi
 echo "== cargo test"
 cargo test --workspace --quiet || status=1
 
+echo "== fault drill (kill+resume, NaN batches, inner spikes)"
+cargo run -p bench --release --bin fault_drill >/dev/null || status=1
+
 if [ "$status" -ne 0 ]; then
     echo "check.sh: FAILED" >&2
 else
