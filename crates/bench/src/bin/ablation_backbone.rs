@@ -25,7 +25,10 @@ fn run(bench: &OodBenchmark, suite: &SuiteConfig, encoder: ConvKind, seed: u64) 
         cfg,
         &mut rng,
     );
-    model.train(bench, seed ^ 0x5151).test_metric
+    model
+        .train(bench, seed ^ 0x5151)
+        .expect("training failed")
+        .test_metric
 }
 
 fn main() {

@@ -32,7 +32,10 @@ fn run_with(
         cfg,
         &mut rng,
     );
-    model.train(bench, seed ^ 0x5151).test_metric
+    model
+        .train(bench, seed ^ 0x5151)
+        .expect("training failed")
+        .test_metric
 }
 
 fn sweep(

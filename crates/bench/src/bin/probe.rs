@@ -75,7 +75,7 @@ fn main() {
             cfg,
             &mut rng,
         );
-        let ro = ood.train(&bench, base_seed + s);
+        let ro = ood.train(&bench, base_seed + s).expect("training failed");
         let ws = ro.weight_stats;
         println!(
             "seed {s}: GIN train {:.3} test {:.3} | OOD-GNN train {:.3} test {:.3} \

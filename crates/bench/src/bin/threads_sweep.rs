@@ -1,0 +1,182 @@
+//! Threads-sweep comparison for the deterministic parallel execution
+//! layer: times the hot workloads at several thread counts, reports the
+//! speedup over single-threaded execution, and asserts the determinism
+//! contract (bitwise-identical results at every thread count).
+//!
+//! Usage: `cargo run -p bench --release --bin threads_sweep`
+//! (`OOD_BENCH_FAST=1` shrinks the measurement budget for smoke runs;
+//! `--strict` exits non-zero unless the decorrelation loss+grad workload
+//! reaches a 2x speedup at 4 threads.)
+//!
+//! Markdown goes to stdout (redirect into `results/threads_sweep.md`);
+//! progress and telemetry to stderr/JSONL as usual.
+
+use bench::{fmt_ns, Harness};
+use oodgnn_core::{decorrelation_loss, linear_loss_reference, DecorrelationKind};
+use tensor::rng::Rng;
+use tensor::{par, Tape, Tensor};
+
+/// One swept workload: a name and a closure returning a checksum whose
+/// bits must not depend on the thread count.
+struct Case {
+    name: &'static str,
+    run: Box<dyn FnMut() -> f32>,
+}
+
+fn loss_and_grad(z: &Tensor, kind: &DecorrelationKind, rng: &mut Rng) -> f32 {
+    let n = z.nrows();
+    let mut tape = Tape::new();
+    let zn = tape.constant(z.clone());
+    let wn = tape.leaf(Tensor::ones([n]));
+    let loss = decorrelation_loss(&mut tape, zn, wn, kind, rng).expect("one weight per row");
+    let value = tape.value(loss).item();
+    let g = tape.backward(loss);
+    value + g.get(wn).map(|t| t.sum()).unwrap_or(0.0)
+}
+
+fn cases() -> Vec<Case> {
+    let mut v: Vec<Case> = Vec::new();
+
+    // The decorrelation bench workload (loss + gradient through the tape):
+    // the cost center ISSUE 4 targets. Fresh RNG per call would change the
+    // RFF draw with the call count, so fix the seed inside the closure.
+    for &(n, d) in &[(128usize, 32usize), (512, 64)] {
+        let mut rng = Rng::seed_from(1);
+        let z = Tensor::randn([n, d], &mut rng);
+        let name: &'static str = match (n, d) {
+            (128, 32) => "decorrelation/rff_n128_d32",
+            _ => "decorrelation/rff_n512_d64",
+        };
+        v.push(Case {
+            name,
+            run: Box::new(move || {
+                let mut rng = Rng::seed_from(7);
+                loss_and_grad(&z, &DecorrelationKind::Rff { q: 1 }, &mut rng)
+            }),
+        });
+    }
+
+    // The closed-form pairwise accumulation (O(d²·n), no tape).
+    {
+        let mut rng = Rng::seed_from(2);
+        let z = Tensor::randn([512, 128], &mut rng);
+        let w = Tensor::rand_uniform([512], 0.5, 1.5, &mut rng);
+        v.push(Case {
+            name: "decorrelation/linear_ref_n512_d128",
+            run: Box::new(move || linear_loss_reference(&z, &w)),
+        });
+    }
+
+    // Raw kernels: matmul and a cos-heavy elementwise chain.
+    {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn([256, 256], &mut rng);
+        let b = Tensor::randn([256, 256], &mut rng);
+        v.push(Case {
+            name: "tensor/matmul_256",
+            run: Box::new(move || a.matmul(&b).data()[17]),
+        });
+    }
+    {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn([512, 128], &mut rng);
+        v.push(Case {
+            name: "tensor/cos_map_512x128",
+            run: Box::new(move || x.map(f32::cos).data()[17]),
+        });
+    }
+
+    v
+}
+
+fn main() {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The wall-clock gate is only meaningful with the physical cores to
+    // back it: on smaller hosts extra threads merely timeshare and the
+    // sweep degenerates into an overhead measurement.
+    let strict = std::env::args().any(|a| a == "--strict") && hardware >= 4;
+    let jsonl = bench::telemetry::init("threads_sweep", 0);
+
+    let mut threads: Vec<usize> = vec![1, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= par::max_threads())
+        .collect();
+    if par::max_threads() > 4 {
+        threads.push(par::max_threads());
+    }
+
+    println!("# Threads sweep: deterministic parallel execution layer\n");
+    println!(
+        "Pool capacity {} threads over {hardware} hardware core(s); sweeping \
+         {threads:?}. Checksums must be bitwise-identical across the sweep \
+         (determinism contract).\n",
+        par::max_threads()
+    );
+    if hardware < 4 {
+        println!(
+            "> Note: this host has {hardware} core(s) — speedups are bounded \
+             by physical parallelism, so this run measures dispatch overhead \
+             and the determinism contract rather than scaling.\n"
+        );
+    }
+    println!(
+        "| workload | {} | speedup @max |",
+        threads
+            .iter()
+            .map(|t| format!("t={t}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    println!("|---|{}---|", "---|".repeat(threads.len()));
+
+    let mut strict_ok = true;
+    for case in cases() {
+        let Case { name, mut run } = case;
+        let mut medians = Vec::with_capacity(threads.len());
+        let mut checksum: Option<u32> = None;
+        for &t in &threads {
+            par::set_threads(t);
+            let sum = run().to_bits();
+            match checksum {
+                None => checksum = Some(sum),
+                Some(reference) => assert_eq!(
+                    reference, sum,
+                    "{name}: result at {t} threads differs from 1 thread \
+                     — determinism contract broken"
+                ),
+            }
+            let mut h = Harness::new(&format!("threads_sweep/t{t}"));
+            h.bench(name, &mut run);
+            medians.push(h.median_ns(name).expect("bench just ran"));
+        }
+        let base = medians[0];
+        let cells = medians
+            .iter()
+            .map(|&m| format!("{} ({:.2}x)", fmt_ns(m), base / m))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        println!(
+            "| {name} | {cells} | {:.2}x |",
+            base / medians[medians.len() - 1]
+        );
+
+        if strict && name.starts_with("decorrelation/rff_n512") {
+            if let Some(i) = threads.iter().position(|&t| t == 4) {
+                let speedup = base / medians[i];
+                if speedup < 2.0 {
+                    eprintln!("threads_sweep: STRICT FAIL {name}: {speedup:.2}x < 2x at 4 threads");
+                    strict_ok = false;
+                }
+            }
+        }
+    }
+    par::set_threads(par::max_threads());
+
+    println!("\nAll checksums bitwise-identical across thread counts.");
+    bench::telemetry::finish(&jsonl);
+    if !strict_ok {
+        std::process::exit(1);
+    }
+}

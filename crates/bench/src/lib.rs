@@ -12,5 +12,5 @@ pub mod runner;
 pub mod telemetry;
 
 pub use args::Args;
-pub use harness::{black_box, Harness};
+pub use harness::{black_box, fmt_ns, Harness};
 pub use runner::{fmt_cell, run_method, MethodSpec, RunOutcome, SuiteConfig};

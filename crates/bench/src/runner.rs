@@ -183,7 +183,7 @@ pub fn run_method(
                 _ => {}
             }
             let mut model = OodGnn::new(in_dim, task, cfg, &mut rng);
-            let r = model.train(bench, seed ^ 0x5151);
+            let r = model.train(bench, seed ^ 0x5151).expect("training failed");
             RunOutcome {
                 train_metric: r.train_metric,
                 val_metric: r.val_metric,

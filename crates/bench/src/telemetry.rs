@@ -45,6 +45,8 @@ pub fn init(bin: &str, seed: u64) -> Option<PathBuf> {
         }
     };
     trace::set_run(&run_id, seed);
+    // Record the parallel execution layer's thread count with the run.
+    trace::metrics::gauge_set("tensor/threads", tensor::par::current_threads() as f64);
     jsonl
 }
 
@@ -77,9 +79,35 @@ pub fn emit_tensor_profile() {
         ("max_tape_len", (snap.max_tape_len as i64).into()),
         ("peak_live_bytes", (snap.peak_live_bytes as i64).into()),
     ];
+    fields.push(("threads", (snap.threads as i64).into()));
     let per_op = snap.per_op_nonzero();
     for (name, count) in &per_op {
         fields.push((name, (*count as i64).into()));
     }
     trace::emit_event("tensor_profile", &fields);
+
+    // Per-kernel parallel region timings as a separate event (regions that
+    // actually fanned out to the pool; label strings need owned storage).
+    let kernels = snap.per_kernel_nonzero();
+    if !kernels.is_empty() {
+        let labels: Vec<(String, String, String)> = kernels
+            .iter()
+            .map(|(name, _, _, _)| {
+                (
+                    format!("{name}_regions"),
+                    format!("{name}_chunks"),
+                    format!("{name}_ms"),
+                )
+            })
+            .collect();
+        let mut fields: Vec<(&str, trace::Value)> = vec![("threads", (snap.threads as i64).into())];
+        for ((_, regions, chunks, nanos), (l_regions, l_chunks, l_ms)) in
+            kernels.iter().zip(labels.iter())
+        {
+            fields.push((l_regions, (*regions as i64).into()));
+            fields.push((l_chunks, (*chunks as i64).into()));
+            fields.push((l_ms, (*nanos as f64 / 1e6).into()));
+        }
+        trace::emit_event("tensor_parallel", &fields);
+    }
 }

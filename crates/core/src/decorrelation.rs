@@ -141,7 +141,13 @@ pub fn decorrelation_loss(
 }
 
 /// Closed-form reference implementation of the **linear** decorrelation
-/// loss (no tape): used to cross-check the autodiff construction in tests.
+/// loss (no tape): used to cross-check the autodiff construction in tests
+/// and as the non-autodiff fast path in benchmarks.
+///
+/// The `O(d²·n)` pairwise accumulation is chunked over the `(i, j)` pair
+/// list through the deterministic pool: per-pair covariances are exact
+/// dot products and per-chunk partials combine in a fixed-order tree, so
+/// the result is bitwise-identical at any thread count.
 pub fn linear_loss_reference(z: &Tensor, w: &Tensor) -> f32 {
     let (n, d) = z.shape().as_matrix();
     assert_eq!(w.numel(), n);
@@ -155,14 +161,26 @@ pub fn linear_loss_reference(z: &Tensor, w: &Tensor) -> f32 {
         }
     }
     let scale = 1.0 / (n.max(2) as f32 - 1.0);
-    let mut total = 0f32;
-    for i in 0..d {
-        for j in (i + 1)..d {
-            let c: f32 = (0..n).map(|r| u[i][r] * u[j][r]).sum::<f32>() * scale;
-            total += c * c;
-        }
-    }
-    total
+    let pairs: Vec<(usize, usize)> = (0..d)
+        .flat_map(|i| ((i + 1)..d).map(move |j| (i, j)))
+        .collect();
+    // Keep every chunk a few thousand multiply-adds.
+    let grain = (4096 / n.max(1)).max(1);
+    tensor::par::map_reduce(
+        pairs.len(),
+        grain,
+        tensor::profile::Kernel::Reduce,
+        |range| {
+            let mut partial = 0f32;
+            for &(i, j) in &pairs[range] {
+                let c: f32 = (0..n).map(|r| u[i][r] * u[j][r]).sum::<f32>() * scale;
+                partial += c * c;
+            }
+            partial
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 #[cfg(test)]

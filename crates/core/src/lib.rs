@@ -41,7 +41,7 @@ pub mod trainer;
 pub mod weights;
 
 pub use checkpoint::{CheckpointConfig, TrainCheckpoint};
-pub use decorrelation::{decorrelation_loss, DecorrelationKind};
+pub use decorrelation::{decorrelation_loss, linear_loss_reference, DecorrelationKind};
 pub use error::OodGnnError;
 pub use fault::FaultPlan;
 pub use global_local::GlobalMemory;

@@ -20,16 +20,22 @@ pub struct RffParams {
     pub w: Tensor,
     /// Phases `[Q, d]`, drawn `Uniform(0, 2π)`.
     pub phi: Tensor,
+    /// Per-function `[d]` row tensors `(w_q, φ_q)`, split out of `w`/`phi`
+    /// once at sample time so [`RffParams::apply`] does not clone each row
+    /// into a fresh constant on every batch of every epoch.
+    rows: Vec<(Tensor, Tensor)>,
 }
 
 impl RffParams {
     /// Sample `q` random Fourier functions per dimension.
     pub fn sample(d: usize, q: usize, rng: &mut Rng) -> Self {
         assert!(q >= 1, "need at least one RFF function");
-        RffParams {
-            w: Tensor::randn([q, d], rng),
-            phi: Tensor::rand_uniform([q, d], 0.0, 2.0 * std::f32::consts::PI, rng),
-        }
+        let w = Tensor::randn([q, d], rng);
+        let phi = Tensor::rand_uniform([q, d], 0.0, 2.0 * std::f32::consts::PI, rng);
+        let rows = (0..q)
+            .map(|qi| (row_of(&w, qi), row_of(&phi, qi)))
+            .collect();
+        RffParams { w, phi, rows }
     }
 
     /// Number of functions `Q`.
@@ -53,10 +59,15 @@ impl RffParams {
             self.d()
         );
         let sqrt2 = std::f32::consts::SQRT_2;
-        (0..self.q())
-            .map(|qi| {
-                let w_row = tape.constant(row_of(&self.w, qi));
-                let phi_row = tape.constant(row_of(&self.phi, qi));
+        self.rows
+            .iter()
+            .map(|(w_row, phi_row)| {
+                // Rows were materialized at sample time; recording a
+                // constant clones only the [d] vector, not a row extraction
+                // per batch. The elementwise kernels below run chunked on
+                // the parallel pool.
+                let w_row = tape.constant(w_row.clone());
+                let phi_row = tape.constant(phi_row.clone());
                 let scaled = tape.mul(z, w_row);
                 let shifted = tape.add(scaled, phi_row);
                 let cosed = tape.cos(shifted);

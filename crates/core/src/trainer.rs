@@ -397,9 +397,13 @@ impl OodGnn {
     /// Train with Algorithm 1 and report metrics. `seed` drives batching,
     /// dropout and the RFF draws. Guardrails on, checkpointing and fault
     /// injection off — see [`OodGnn::train_run`] for the full runtime.
-    pub fn train(&mut self, bench: &OodBenchmark, seed: u64) -> OodGnnReport {
+    ///
+    /// # Errors
+    /// Propagates [`train_run`](OodGnn::train_run) failures — dataset or
+    /// shape validation errors in particular. (The default options carry no
+    /// fault plan, so [`OodGnnError::Interrupted`] cannot occur here.)
+    pub fn train(&mut self, bench: &OodBenchmark, seed: u64) -> Result<OodGnnReport, OodGnnError> {
         self.train_run(bench, seed, TrainOptions::default())
-            .expect("default training has no kill faults and cannot be interrupted")
     }
 
     /// Fault-tolerant training run: Algorithm 1 plus numerical-health
@@ -811,7 +815,7 @@ mod tests {
             quick_config(),
             &mut rng,
         );
-        let report = model.train(&bench, 3);
+        let report = model.train(&bench, 3).expect("training failed");
         assert_eq!(report.loss_curve.len(), 6);
         assert_eq!(report.hsic_curve.len(), 6);
         assert!(report.hsic_curve.iter().all(|h| h.is_finite() && *h >= 0.0));
@@ -834,7 +838,7 @@ mod tests {
             quick_config(),
             &mut rng,
         );
-        let report = model.train(&bench, 6);
+        let report = model.train(&bench, 6).expect("training failed");
         let mean: f32 =
             report.final_weights.iter().sum::<f32>() / report.final_weights.len() as f32;
         assert!(
@@ -908,7 +912,7 @@ mod tests {
             },
             &mut rng,
         );
-        let report = model.train(&bench, 11);
+        let report = model.train(&bench, 11).expect("training failed");
         assert!(report.test_metric.is_finite());
     }
 
@@ -925,7 +929,7 @@ mod tests {
             },
             &mut rng,
         );
-        let report = model.train(&bench, 14);
+        let report = model.train(&bench, 14).expect("training failed");
         assert!(report.test_metric.is_finite());
     }
 

@@ -1,0 +1,131 @@
+//! End-to-end thread-count independence: a full OOD-GNN training run —
+//! including sample reweighting, RFF decorrelation and evaluation — must
+//! produce a bitwise-identical report whether the tensor layer runs on
+//! 1 thread or 4, and a checkpoint written at one thread count must
+//! resume cleanly at another.
+
+use datasets::triangles::{generate, TrianglesConfig};
+use gnn::encoder::ConvKind;
+use gnn::models::ModelConfig;
+use gnn::trainer::TrainConfig;
+use oodgnn_core::{
+    CheckpointConfig, FaultPlan, OodGnn, OodGnnConfig, OodGnnError, OodGnnReport, TrainOptions,
+};
+use std::sync::Mutex;
+use tensor::par;
+use tensor::rng::Rng;
+
+/// `par::set_threads` is process-global; serialize tests touching it.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_config() -> OodGnnConfig {
+    OodGnnConfig {
+        model: ModelConfig {
+            hidden: 16,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 3e-3,
+            eval_every: Some(2),
+            ..Default::default()
+        },
+        epoch_reweight: 3,
+        encoder: ConvKind::Gin,
+        ..Default::default()
+    }
+}
+
+fn run_at(threads: usize, opts: TrainOptions) -> Result<OodGnnReport, OodGnnError> {
+    par::set_threads(threads);
+    let bench = generate(&TrianglesConfig::scaled(0.02), 1);
+    let mut mrng = Rng::seed_from(7);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        quick_config(),
+        &mut mrng,
+    );
+    model.train_run(&bench, 11, opts)
+}
+
+fn assert_bitwise_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} != {y} (bitwise)"
+        );
+    }
+}
+
+fn assert_reports_bitwise_eq(a: &OodGnnReport, b: &OodGnnReport, what: &str) {
+    assert_bitwise_eq(&a.loss_curve, &b.loss_curve, &format!("{what}: loss_curve"));
+    assert_bitwise_eq(&a.hsic_curve, &b.hsic_curve, &format!("{what}: hsic_curve"));
+    assert_bitwise_eq(
+        &a.final_weights,
+        &b.final_weights,
+        &format!("{what}: final_weights"),
+    );
+    assert_eq!(
+        a.test_metric.to_bits(),
+        b.test_metric.to_bits(),
+        "{what}: test metric must match bitwise"
+    );
+    assert_eq!(a.best_val_metric, b.best_val_metric, "{what}: best val");
+}
+
+#[test]
+fn full_training_run_is_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let at1 = run_at(1, TrainOptions::default()).expect("t=1 run");
+    let at4 = run_at(4, TrainOptions::default()).expect("t=4 run");
+    assert_reports_bitwise_eq(&at1, &at4, "t=1 vs t=4");
+    par::set_threads(par::max_threads());
+}
+
+#[test]
+fn checkpoint_written_at_one_thread_count_resumes_at_another() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("oodgnn_thread_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("train.oods");
+
+    // Reference: uninterrupted single-threaded run.
+    let clean = run_at(1, TrainOptions::default()).expect("clean run");
+
+    // Train at 4 threads, killed mid-epoch 3 with a checkpoint behind it.
+    let killed = run_at(
+        4,
+        TrainOptions {
+            checkpoint: Some(CheckpointConfig::new(&path, 2)),
+            faults: Some(FaultPlan::seeded(9).with_kill_at(3, 0)),
+            ..Default::default()
+        },
+    );
+    match killed {
+        Err(OodGnnError::Interrupted { epoch: 3, batch: 0 }) => {}
+        other => panic!("expected Interrupted at (3, 0), got {other:?}"),
+    }
+    assert!(path.exists(), "checkpoint must exist after the kill");
+
+    // Resume on 1 thread: the report must still match the clean run.
+    let resumed = run_at(
+        1,
+        TrainOptions {
+            checkpoint: Some(CheckpointConfig::new(&path, 2)),
+            resume: true,
+            ..Default::default()
+        },
+    )
+    .expect("resumed run");
+    assert_reports_bitwise_eq(&clean, &resumed, "resume across thread counts");
+    assert!(resumed.health.is_clean(), "{:?}", resumed.health);
+
+    par::set_threads(par::max_threads());
+    std::fs::remove_dir_all(&dir).ok();
+}

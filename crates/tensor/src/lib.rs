@@ -25,6 +25,7 @@ pub mod check;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod par;
 pub mod profile;
 pub mod rng;
 pub mod serialize;

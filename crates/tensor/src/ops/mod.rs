@@ -7,10 +7,17 @@
 
 pub mod loss;
 
+use crate::par;
+use crate::profile::Kernel;
 use crate::shape::{broadcast_shapes, reduce_grad_to, Shape};
 use crate::tape::{NodeId, Tape};
 use crate::tensor::Tensor;
 use std::rc::Rc;
+
+/// Rows per chunk for row-wise kernels, scaled by the row width.
+fn row_grain(cols: usize) -> usize {
+    (4096 / cols.max(1)).max(1)
+}
 
 /// Axis selector for matrix reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,13 +347,20 @@ impl Op {
                 // dx = g - softmax(x) * rowsum(g)
                 let (r, c) = value.shape().as_matrix();
                 let mut g = Tensor::zeros([r, c]);
-                for i in 0..r {
-                    let gs: f32 = grad.row(i).iter().sum();
-                    for j in 0..c {
-                        let p = value.at(i, j).exp();
-                        *g.at_mut(i, j) = grad.at(i, j) - p * gs;
-                    }
-                }
+                par::for_each_row(
+                    g.data_mut(),
+                    r,
+                    c,
+                    row_grain(c),
+                    Kernel::LogSoftmax,
+                    |i, g_row| {
+                        let gs: f32 = grad.row(i).iter().sum();
+                        for (j, slot) in g_row.iter_mut().enumerate() {
+                            let p = value.at(i, j).exp();
+                            *slot = grad.at(i, j) - p * gs;
+                        }
+                    },
+                );
                 vec![(*a, g)]
             }
         }
@@ -436,33 +450,75 @@ fn concat_cols(parts: &[&Tensor]) -> Tensor {
 
 /// Per-segment extreme over rows: `(values, argrows)`. Empty segments give 0
 /// and argrow `usize::MAX`. Tie-break: first row wins.
+///
+/// Parallelized over *output* segments through an inverted segment → input
+/// rows index; within a segment candidates are scanned in ascending input
+/// row order with the same strict comparison as the original input-order
+/// sweep, so values, tie-breaks and argrows are identical at any thread
+/// count.
 fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor, Vec<usize>) {
     let (r, c) = x.shape().as_matrix();
     assert_eq!(r, seg.len(), "segment ids must cover every row");
-    let init = if is_max {
-        f32::NEG_INFINITY
-    } else {
-        f32::INFINITY
-    };
-    let mut vals = Tensor::full([n, c], init);
-    let mut args = vec![usize::MAX; n * c];
-    for (i, &s) in seg.iter().enumerate() {
+    for &s in seg {
         assert!(s < n, "segment id {s} out of range {n}");
-        for j in 0..c {
-            let xv = x.at(i, j);
-            let cur = vals.at(s, j);
-            let better = if is_max { xv > cur } else { xv < cur };
-            if better {
-                *vals.at_mut(s, j) = xv;
-                args[s * c + j] = i;
-            }
-        }
     }
-    // Empty segments: replace ±inf with 0.
-    for (k, v) in vals.data_mut().iter_mut().enumerate() {
-        if args[k] == usize::MAX {
-            *v = 0.0;
-        }
+    // Invert: CSR-style segment -> sorted input rows.
+    let mut counts = vec![0usize; n + 1];
+    for &s in seg {
+        counts[s + 1] += 1;
+    }
+    for s in 0..n {
+        counts[s + 1] += counts[s];
+    }
+    let mut members = vec![0usize; r];
+    let mut cursor = counts.clone();
+    for (i, &s) in seg.iter().enumerate() {
+        members[cursor[s]] = i;
+        cursor[s] += 1;
+    }
+    let mut vals = Tensor::zeros([n, c]);
+    let mut args = vec![usize::MAX; n * c];
+    {
+        let args_base = par::SendPtr(args.as_mut_ptr());
+        par::for_each_row(
+            vals.data_mut(),
+            n,
+            c,
+            row_grain(c),
+            Kernel::Segment,
+            |s, val_row| {
+                // Disjoint args rows: each segment is visited by one chunk.
+                let arg_row =
+                    unsafe { std::slice::from_raw_parts_mut(args_base.get().add(s * c), c) };
+                let rows = &members[counts[s]..counts[s + 1]];
+                if rows.is_empty() {
+                    return; // empty segment: zeros + usize::MAX markers
+                }
+                let init = if is_max {
+                    f32::NEG_INFINITY
+                } else {
+                    f32::INFINITY
+                };
+                val_row.fill(init);
+                for &i in rows {
+                    for (j, slot) in val_row.iter_mut().enumerate() {
+                        let xv = x.at(i, j);
+                        let better = if is_max { xv > *slot } else { xv < *slot };
+                        if better {
+                            *slot = xv;
+                            arg_row[j] = i;
+                        }
+                    }
+                }
+                // Entries never beaten (e.g. all-(-inf) candidates): 0, like
+                // an empty segment.
+                for (j, slot) in val_row.iter_mut().enumerate() {
+                    if arg_row[j] == usize::MAX {
+                        *slot = 0.0;
+                    }
+                }
+            },
+        );
     }
     (vals, args)
 }
@@ -491,14 +547,28 @@ fn segment_extreme_backward(
 fn log_softmax(x: &Tensor) -> Tensor {
     let (r, c) = x.shape().as_matrix();
     let mut out = Tensor::zeros([r, c]);
-    for i in 0..r {
-        let row = x.row(i);
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-        for (j, &v) in row.iter().enumerate() {
-            out.data_mut()[i * c + j] = v - lse;
-        }
-    }
+    par::for_each_row(
+        out.data_mut(),
+        r,
+        c,
+        row_grain(c),
+        Kernel::LogSoftmax,
+        |i, out_row| {
+            let row = x.row(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                // Degenerate row (every logit -inf): `m + ln(0)` would be
+                // NaN. Define the distribution as uniform instead so the
+                // loss stays finite and the backward (p = 1/c) is exact.
+                out_row.fill(-(c as f32).ln());
+                return;
+            }
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (slot, &v) in out_row.iter_mut().zip(row.iter()) {
+                *slot = v - lse;
+            }
+        },
+    );
     out
 }
 
@@ -991,6 +1061,38 @@ mod tests {
         let p = tp.value(ls).map(f32::exp);
         assert!((gx.data()[0] - (p.data()[0] - 1.0)).abs() < 1e-5);
         assert!((gx.data()[1] - p.data()[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_all_neg_inf_row_is_finite() {
+        // Regression: a row whose max is -inf used to produce
+        // lse = -inf + ln(0) = NaN for every entry. The degenerate row now
+        // falls back to the uniform distribution.
+        let mut tp = Tape::new();
+        let x = tp.leaf(t(
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                1.,
+                2.,
+                3.,
+            ],
+            [2, 3],
+        ));
+        let ls = tp.log_softmax(x);
+        let v = tp.value(ls);
+        assert!(!v.has_non_finite(), "degenerate row produced non-finite");
+        for j in 0..3 {
+            assert!((v.at(0, j) + 3f32.ln()).abs() < 1e-6);
+        }
+        // The healthy row is unaffected.
+        let s: f32 = v.row(1).iter().map(|&x| x.exp()).sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        // Backward stays finite too.
+        let sum = tp.sum(ls);
+        let g = tp.backward(sum);
+        assert!(!g.get(x).unwrap().has_non_finite());
     }
 
     #[test]

@@ -96,6 +96,40 @@ static MAX_TAPE_LEN: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 
+/// Kernel families whose parallel executions are timed separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Row-blocked matrix multiplication.
+    Matmul = 0,
+    /// Elementwise map / broadcasted binary ops / activations.
+    Elementwise = 1,
+    /// Row-wise log-softmax.
+    LogSoftmax = 2,
+    /// Segment reductions (sum/mean/max/min) and scatter-add.
+    Segment = 3,
+    /// Row gathers (index-select).
+    Gather = 4,
+    /// Chunked map-reduce accumulations (e.g. HSIC pair sums).
+    Reduce = 5,
+}
+
+/// Number of [`Kernel`] families tracked.
+pub const N_KERNELS: usize = 6;
+
+/// Display names, indexed like the per-kernel counters.
+pub const KERNEL_NAMES: [&str; N_KERNELS] = [
+    "matmul",
+    "elementwise",
+    "log_softmax",
+    "segment",
+    "gather",
+    "reduce",
+];
+
+static PAR_REGIONS: [AtomicU64; N_KERNELS] = [const { AtomicU64::new(0) }; N_KERNELS];
+static PAR_CHUNKS: [AtomicU64; N_KERNELS] = [const { AtomicU64::new(0) }; N_KERNELS];
+static PAR_NANOS: [AtomicU64; N_KERNELS] = [const { AtomicU64::new(0) }; N_KERNELS];
+
 /// Hook called by [`crate::Tape`] on every node push.
 #[inline]
 pub(crate) fn record_op(op: &Op, elements: usize, tape_len: usize, bytes: u64) {
@@ -118,6 +152,16 @@ pub(crate) fn release_bytes(bytes: u64) {
     LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
 }
 
+/// Hook called by [`crate::par`] once per parallel region (a region that
+/// actually fanned out to the pool; sequential fallbacks are not counted).
+#[inline]
+pub(crate) fn record_parallel(kernel: Kernel, chunks: usize, nanos: u64) {
+    let k = kernel as usize;
+    PAR_REGIONS[k].fetch_add(1, Ordering::Relaxed);
+    PAR_CHUNKS[k].fetch_add(chunks as u64, Ordering::Relaxed);
+    PAR_NANOS[k].fetch_add(nanos, Ordering::Relaxed);
+}
+
 /// Point-in-time copy of the process-wide profiling counters.
 #[derive(Debug, Clone)]
 pub struct ProfileSnapshot {
@@ -135,6 +179,16 @@ pub struct ProfileSnapshot {
     pub peak_live_bytes: u64,
     /// Invocation count per op kind, indexed like [`OP_NAMES`].
     pub per_op: [u64; N_OPS],
+    /// Active thread count of the parallel execution layer.
+    pub threads: u64,
+    /// Parallel regions executed per kernel family, indexed like
+    /// [`KERNEL_NAMES`]. Only regions that actually fanned out count.
+    pub par_regions: [u64; N_KERNELS],
+    /// Chunks dispatched across all parallel regions, per kernel family.
+    pub par_chunks: [u64; N_KERNELS],
+    /// Wall-clock nanoseconds spent inside parallel regions, per kernel
+    /// family (region duration, not summed per-thread time).
+    pub par_nanos: [u64; N_KERNELS],
 }
 
 impl ProfileSnapshot {
@@ -150,6 +204,26 @@ impl ProfileSnapshot {
         v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         v
     }
+
+    /// `(name, regions, chunks, nanos)` for every kernel family that ran
+    /// at least one parallel region, most regions first.
+    pub fn per_kernel_nonzero(&self) -> Vec<(&'static str, u64, u64, u64)> {
+        let mut v: Vec<(&'static str, u64, u64, u64)> = KERNEL_NAMES
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| self.par_regions[k] > 0)
+            .map(|(k, &n)| {
+                (
+                    n,
+                    self.par_regions[k],
+                    self.par_chunks[k],
+                    self.par_nanos[k],
+                )
+            })
+            .collect();
+        v.sort_by_key(|&(_, n, _, _)| std::cmp::Reverse(n));
+        v
+    }
 }
 
 /// Snapshot the current counters.
@@ -160,6 +234,14 @@ pub fn snapshot() -> ProfileSnapshot {
         *slot = counter.load(Ordering::Relaxed);
         ops_total += *slot;
     }
+    let mut par_regions = [0u64; N_KERNELS];
+    let mut par_chunks = [0u64; N_KERNELS];
+    let mut par_nanos = [0u64; N_KERNELS];
+    for k in 0..N_KERNELS {
+        par_regions[k] = PAR_REGIONS[k].load(Ordering::Relaxed);
+        par_chunks[k] = PAR_CHUNKS[k].load(Ordering::Relaxed);
+        par_nanos[k] = PAR_NANOS[k].load(Ordering::Relaxed);
+    }
     ProfileSnapshot {
         ops_total,
         elements_total: ELEMENTS_TOTAL.load(Ordering::Relaxed),
@@ -168,6 +250,10 @@ pub fn snapshot() -> ProfileSnapshot {
         live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
         peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed),
         per_op,
+        threads: crate::par::current_threads() as u64,
+        par_regions,
+        par_chunks,
+        par_nanos,
     }
 }
 
@@ -180,6 +266,11 @@ pub fn reset() {
     BACKWARD_CALLS.store(0, Ordering::Relaxed);
     MAX_TAPE_LEN.store(0, Ordering::Relaxed);
     PEAK_LIVE_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    for k in 0..N_KERNELS {
+        PAR_REGIONS[k].store(0, Ordering::Relaxed);
+        PAR_CHUNKS[k].store(0, Ordering::Relaxed);
+        PAR_NANOS[k].store(0, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

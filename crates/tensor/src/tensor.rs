@@ -1,8 +1,15 @@
 //! The dense, row-major `f32` tensor type and its eager (non-autodiff) ops.
 
+use crate::par;
+use crate::profile::Kernel;
 use crate::rng::Rng;
 use crate::shape::{broadcast_shapes, BroadcastMap, Shape};
 use std::fmt;
+
+/// Elementwise kernels fan out above this many elements per chunk.
+const ELEMENTWISE_GRAIN: usize = 4096;
+/// Approximate multiply-adds per matmul row-chunk.
+const MATMUL_GRAIN_OPS: usize = 16_384;
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -187,34 +194,36 @@ impl Tensor {
 
     // ------------------------------------------------------- element-wise
 
-    /// Apply `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Apply `f` to every element, producing a new tensor. Chunked over
+    /// the parallel pool for large tensors; element order (and therefore
+    /// the result, bitwise) is identical at any thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
+            f(self.data[i])
+        });
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
 
     /// Apply `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        par::map_inplace(&mut self.data, ELEMENTWISE_GRAIN, Kernel::Elementwise, f);
     }
 
     /// Broadcasting binary op: `f(a, b)` with NumPy broadcast semantics.
     ///
     /// # Panics
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
             // Fast path: same shape, no index mapping.
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let mut data = vec![0.0f32; self.data.len()];
+            par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
+                f(self.data[i], other.data[i])
+            });
             return Tensor {
                 data,
                 shape: self.shape.clone(),
@@ -224,11 +233,11 @@ impl Tensor {
             .unwrap_or_else(|| panic!("incompatible broadcast: {} vs {}", self.shape, other.shape));
         let map = BroadcastMap::new(&self.shape, &other.shape, &out_shape);
         let n = out_shape.numel();
-        let mut data = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut data = vec![0.0f32; n];
+        par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
             let (ia, ib) = map.map(i);
-            data.push(f(self.data[ia], other.data[ib]));
-        }
+            f(self.data[ia], other.data[ib])
+        });
         Tensor {
             data,
             shape: out_shape,
@@ -350,8 +359,10 @@ impl Tensor {
 
     /// Dense matrix multiplication `self @ other` for rank-2 tensors.
     ///
-    /// Uses i-k-j loop order for cache-friendly access; adequate for the
-    /// hidden sizes used in this workspace (≤ a few hundred).
+    /// Uses i-k-j loop order for cache-friendly access, row-blocked over
+    /// the parallel pool. Every output row is produced by exactly one
+    /// chunk with the same per-row accumulation order as the sequential
+    /// loop, so the result is bitwise-identical at any thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (m, k) = self.shape.as_matrix();
         let (k2, n) = other.shape.as_matrix();
@@ -361,19 +372,26 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = Tensor::zeros([m, n]);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let grain_rows = (MATMUL_GRAIN_OPS / (k * n).max(1)).max(1);
+        par::for_each_row(
+            &mut out.data,
+            m,
+            n,
+            grain_rows,
+            Kernel::Matmul,
+            |i, out_row| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+            },
+        );
         out
     }
 
@@ -383,28 +401,78 @@ impl Tensor {
     pub fn index_select_rows(&self, indices: &[usize]) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         let mut out = Tensor::zeros([indices.len(), c]);
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < r, "index {idx} out of range for {r} rows");
-            out.data[i * c..(i + 1) * c].copy_from_slice(&self.data[idx * c..(idx + 1) * c]);
-        }
+        let grain_rows = (ELEMENTWISE_GRAIN / c.max(1)).max(1);
+        par::for_each_row(
+            &mut out.data,
+            indices.len(),
+            c,
+            grain_rows,
+            Kernel::Gather,
+            |i, out_row| {
+                let idx = indices[i];
+                assert!(idx < r, "index {idx} out of range for {r} rows");
+                out_row.copy_from_slice(&self.data[idx * c..(idx + 1) * c]);
+            },
+        );
         out
     }
 
     /// Scatter-add rows: `out[indices[i]] += self[i]`, with `num_rows` output
     /// rows.
+    ///
+    /// Large inputs take an index-inverted path parallelized over *output*
+    /// rows: each output row accumulates its contributions in ascending
+    /// input-row order — the same per-row float schedule as the sequential
+    /// input-order loop — so both paths (and all thread counts) produce
+    /// bitwise-identical results.
     pub fn scatter_add_rows(&self, indices: &[usize], num_rows: usize) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         assert_eq!(r, indices.len(), "scatter_add rows/indices mismatch");
-        let mut out = Tensor::zeros([num_rows, c]);
-        for (i, &idx) in indices.iter().enumerate() {
+        for &idx in indices {
             assert!(
                 idx < num_rows,
                 "index {idx} out of range for {num_rows} rows"
             );
-            for j in 0..c {
-                out.data[idx * c + j] += self.data[i * c + j];
-            }
         }
+        let mut out = Tensor::zeros([num_rows, c]);
+        if r * c < 4 * ELEMENTWISE_GRAIN || num_rows < 2 {
+            for (i, &idx) in indices.iter().enumerate() {
+                for j in 0..c {
+                    out.data[idx * c + j] += self.data[i * c + j];
+                }
+            }
+            return out;
+        }
+        // Invert indices into a CSR-style segment -> input rows map (input
+        // rows stay sorted within each segment by construction).
+        let mut counts = vec![0usize; num_rows + 1];
+        for &idx in indices {
+            counts[idx + 1] += 1;
+        }
+        for s in 0..num_rows {
+            counts[s + 1] += counts[s];
+        }
+        let mut members = vec![0usize; r];
+        let mut cursor = counts.clone();
+        for (i, &idx) in indices.iter().enumerate() {
+            members[cursor[idx]] = i;
+            cursor[idx] += 1;
+        }
+        let grain_rows = ((4 * ELEMENTWISE_GRAIN) / c.max(1)).max(1);
+        par::for_each_row(
+            &mut out.data,
+            num_rows,
+            c,
+            grain_rows,
+            Kernel::Segment,
+            |s, out_row| {
+                for &i in &members[counts[s]..counts[s + 1]] {
+                    for (o, &v) in out_row.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                        *o += v;
+                    }
+                }
+            },
+        );
         out
     }
 

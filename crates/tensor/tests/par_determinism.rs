@@ -1,0 +1,159 @@
+//! Determinism property tests for the parallel execution layer: every
+//! parallelized kernel must produce **bitwise-identical** output at any
+//! thread count. Each case runs the same computation at 1, 2 and 4
+//! threads and compares raw f32 bit patterns — no tolerance, no epsilon.
+
+use ood_tensor::rng::Rng;
+use ood_tensor::{par, Tape, Tensor};
+use std::rc::Rc;
+use std::sync::Mutex;
+
+/// `par::set_threads` is process-global, so cases serialize on this lock
+/// (the test harness runs `#[test]` fns concurrently by default).
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` at 1, 2 and 4 threads and assert the outputs match bitwise.
+fn bitwise_across_threads(name: &str, f: impl Fn() -> Vec<f32>) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    par::set_threads(1);
+    let reference: Vec<u32> = f().iter().map(|x| x.to_bits()).collect();
+    assert!(!reference.is_empty(), "{name}: case produced no output");
+    for t in [2usize, 4] {
+        par::set_threads(t);
+        let got: Vec<u32> = f().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            reference, got,
+            "{name}: output at {t} threads differs bitwise from 1 thread"
+        );
+    }
+    par::set_threads(par::max_threads());
+}
+
+/// Forward value + gradients for every leaf, concatenated — so a single
+/// comparison covers both passes of a tape program.
+fn value_and_grads(
+    leaves: &[Tensor],
+    build: impl Fn(&mut Tape, &[ood_tensor::NodeId]) -> ood_tensor::NodeId,
+) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let ids: Vec<_> = leaves.iter().map(|t| tape.leaf(t.clone())).collect();
+    let out = build(&mut tape, &ids);
+    let mut all = tape.value(out).data().to_vec();
+    let s = tape.sum(out);
+    let grads = tape.backward(s);
+    for &id in &ids {
+        if let Some(g) = grads.get(id) {
+            all.extend_from_slice(g.data());
+        }
+    }
+    all
+}
+
+#[test]
+fn matmul_is_thread_count_invariant() {
+    let mut rng = Rng::seed_from(21);
+    let a = Tensor::randn([97, 63], &mut rng);
+    let b = Tensor::randn([63, 41], &mut rng);
+    bitwise_across_threads("matmul", || a.matmul(&b).into_vec());
+}
+
+#[test]
+fn matmul_gradients_are_thread_count_invariant() {
+    let mut rng = Rng::seed_from(22);
+    let a = Tensor::randn([48, 32], &mut rng);
+    let b = Tensor::randn([32, 24], &mut rng);
+    bitwise_across_threads("matmul grad", || {
+        value_and_grads(&[a.clone(), b.clone()], |t, ids| t.matmul(ids[0], ids[1]))
+    });
+}
+
+#[test]
+fn elementwise_map_is_thread_count_invariant() {
+    let mut rng = Rng::seed_from(23);
+    // Large enough to split into many chunks at the elementwise grain.
+    let x = Tensor::randn([256, 96], &mut rng);
+    bitwise_across_threads("map cos", || x.map(f32::cos).into_vec());
+    bitwise_across_threads("map_inplace exp", || {
+        let mut y = x.clone();
+        y.map_inplace(|v| (0.1 * v).exp());
+        y.into_vec()
+    });
+    let y = Tensor::randn([256, 96], &mut rng);
+    bitwise_across_threads("zip add", || x.add(&y).into_vec());
+}
+
+#[test]
+fn activations_through_tape_are_thread_count_invariant() {
+    let mut rng = Rng::seed_from(24);
+    let x = Tensor::randn([128, 80], &mut rng);
+    for (name, op) in [
+        ("relu", 0usize),
+        ("sigmoid", 1),
+        ("tanh", 2),
+        ("softplus", 3),
+    ] {
+        bitwise_across_threads(name, || {
+            value_and_grads(std::slice::from_ref(&x), |t, ids| match op {
+                0 => t.relu(ids[0]),
+                1 => t.sigmoid(ids[0]),
+                2 => t.tanh(ids[0]),
+                _ => t.softplus(ids[0]),
+            })
+        });
+    }
+}
+
+#[test]
+fn log_softmax_is_thread_count_invariant() {
+    let mut rng = Rng::seed_from(25);
+    let mut x = Tensor::randn([200, 37], &mut rng);
+    // Include a degenerate all -inf row: the NaN guard must also be
+    // schedule-independent.
+    for v in &mut x.data_mut()[37..74] {
+        *v = f32::NEG_INFINITY;
+    }
+    bitwise_across_threads("log_softmax", || {
+        value_and_grads(&[x.clone()], |t, ids| t.log_softmax(ids[0]))
+    });
+}
+
+#[test]
+fn gather_scatter_are_thread_count_invariant() {
+    let mut rng = Rng::seed_from(26);
+    let x = Tensor::randn([300, 48], &mut rng);
+    // Repeated + out-of-order indices: scatter must accumulate collisions
+    // in the same order regardless of thread count.
+    let idx: Vec<usize> = (0..900).map(|i| (i * 7 + 3) % 120).collect();
+    bitwise_across_threads("index_select_rows", || {
+        x.index_select_rows(&idx[..300]).into_vec()
+    });
+    let big = Tensor::randn([900, 48], &mut rng);
+    bitwise_across_threads("scatter_add_rows", || {
+        big.scatter_add_rows(&idx, 120).into_vec()
+    });
+}
+
+#[test]
+fn segment_reductions_are_thread_count_invariant() {
+    let mut rng = Rng::seed_from(27);
+    let x = Tensor::randn([400, 32], &mut rng);
+    // Unsorted segment ids with empty segment 5 and a heavily loaded 0.
+    let seg: Rc<Vec<usize>> = Rc::new(
+        (0..400)
+            .map(|i| if i % 3 == 0 { 0 } else { (i * 11) % 12 })
+            .map(|s| if s == 5 { 6 } else { s })
+            .collect(),
+    );
+    for (name, which) in [("sum", 0usize), ("mean", 1), ("max", 2), ("min", 3)] {
+        let seg = Rc::clone(&seg);
+        let x = x.clone();
+        bitwise_across_threads(&format!("segment_{name}"), move || {
+            value_and_grads(std::slice::from_ref(&x), |t, ids| match which {
+                0 => t.segment_sum(ids[0], Rc::clone(&seg), 12),
+                1 => t.segment_mean(ids[0], Rc::clone(&seg), 12),
+                2 => t.segment_max(ids[0], Rc::clone(&seg), 12),
+                _ => t.segment_min(ids[0], Rc::clone(&seg), 12),
+            })
+        });
+    }
+}

@@ -124,7 +124,7 @@ fn main() {
         ood_cfg,
         &mut rng,
     );
-    let ood_report = ood.train(&bench, 13);
+    let ood_report = ood.train(&bench, 13).expect("training failed");
     println!(
         "OOD-GNN : train acc {:.3} | unbiased-test acc {:.3}",
         ood_report.train_metric, ood_report.test_metric

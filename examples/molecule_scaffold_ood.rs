@@ -93,7 +93,7 @@ fn main() {
         ood_cfg,
         &mut rng,
     );
-    let ood_report = ood.train(&bench, 5);
+    let ood_report = ood.train(&bench, 5).expect("training failed");
     println!(
         "OOD-GNN : train AUC {:.3} | scaffold-OOD test AUC {:.3}",
         ood_report.train_metric, ood_report.test_metric

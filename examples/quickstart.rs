@@ -60,7 +60,7 @@ fn main() {
         ood_cfg,
         &mut rng,
     );
-    let ood_report = ood.train(&bench, 1);
+    let ood_report = ood.train(&bench, 1).expect("training failed");
     println!(
         "OOD-GNN  : train acc {:.3} | OOD test acc {:.3}",
         ood_report.train_metric, ood_report.test_metric

@@ -92,7 +92,7 @@ fn main() {
         ood_cfg,
         &mut rng,
     );
-    let ood_report = ood.train(&bench, 9);
+    let ood_report = ood.train(&bench, 9).expect("training failed");
     println!(
         "\nOOD-GNN : train acc {:.3} | overall OOD test acc {:.3}",
         ood_report.train_metric, ood_report.test_metric

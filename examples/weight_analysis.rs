@@ -110,7 +110,7 @@ fn main() {
         cfg,
         &mut rng,
     );
-    let report = model.train(&bench, 5);
+    let report = model.train(&bench, 5).expect("training failed");
     let stats = weight_stats(&report.final_weights);
     println!(
         "learned weights: mean {:.3} (projected to 1), std {:.3}, range [{:.3}, {:.3}], effective sample fraction {:.2}",

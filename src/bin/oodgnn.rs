@@ -229,7 +229,7 @@ fn main() {
             cfg,
             &mut rng,
         );
-        let r = model.train(&bench, seed ^ 0x5151);
+        let r = model.train(&bench, seed ^ 0x5151).expect("training failed");
         let w = weight_stats(&r.final_weights);
         println!(
             "train {:.4} | val {:.4} | OOD test {:.4}",

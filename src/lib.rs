@@ -32,7 +32,7 @@
 //! config.model.hidden = 8;
 //! let mut model = OodGnn::new(
 //!     bench.dataset.feature_dim(), bench.dataset.task(), config, &mut rng);
-//! let report = model.train(&bench, 7);
+//! let report = model.train(&bench, 7).expect("training failed");
 //! assert!(report.test_metric.is_finite());
 //! ```
 

@@ -50,7 +50,7 @@ fn triangles_pipeline_baseline_and_oodgnn() {
         cfg,
         &mut rng,
     );
-    let report = ood.train(&bench, 3);
+    let report = ood.train(&bench, 3).expect("training failed");
     assert!(report.test_metric.is_finite());
     assert_eq!(report.final_weights.len(), bench.split.train.len());
 }
@@ -95,7 +95,7 @@ fn regression_pipeline() {
         cfg,
         &mut rng,
     );
-    let report = ood.train(&bench, 10);
+    let report = ood.train(&bench, 10).expect("training failed");
     assert!(report.test_metric >= 0.0, "rmse must be non-negative");
     // Training should reduce the loss.
     let first = report.loss_curve[0];
@@ -190,7 +190,7 @@ fn determinism_across_identical_runs() {
             cfg,
             &mut rng,
         );
-        let r = ood.train(&bench, 42);
+        let r = ood.train(&bench, 42).expect("training failed");
         (r.test_metric, r.loss_curve, r.final_weights)
     };
     let a = run();
@@ -216,7 +216,7 @@ fn oodgnn_weights_respect_constraint_after_training() {
         cfg,
         &mut rng,
     );
-    let report = ood.train(&bench, 52);
+    let report = ood.train(&bench, 52).expect("training failed");
     assert!(report.final_weights.iter().all(|&w| w > 0.0));
     let mean: f32 = report.final_weights.iter().sum::<f32>() / report.final_weights.len() as f32;
     assert!((mean - 1.0).abs() < 0.3, "weight mean {mean}");

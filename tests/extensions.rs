@@ -126,7 +126,7 @@ fn oodgnn_supports_model_selection_too() {
         cfg,
         &mut rng,
     );
-    let report = model.train(&bench, 6);
+    let report = model.train(&bench, 6).expect("training failed");
     assert!(report.best_val_metric.is_some());
     assert!(report.test_at_best_val.is_some());
 }
@@ -190,7 +190,7 @@ fn oodgnn_runs_on_alternative_backbones() {
             cfg,
             &mut rng,
         );
-        let report = model.train(&bench, 10);
+        let report = model.train(&bench, 10).expect("training failed");
         assert!(report.test_metric.is_finite(), "{kind:?}");
     }
 }
