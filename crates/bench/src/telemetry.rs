@@ -84,7 +84,7 @@ pub fn emit_tensor_profile() {
     for (name, count) in &per_op {
         fields.push((name, (*count as i64).into()));
     }
-    trace::emit_event("tensor_profile", &fields);
+    trace::emit_event(trace::names::TENSOR_PROFILE, &fields);
 
     // Per-kernel parallel region timings as a separate event (regions that
     // actually fanned out to the pool; label strings need owned storage).
@@ -108,6 +108,24 @@ pub fn emit_tensor_profile() {
             fields.push((l_chunks, (*chunks as i64).into()));
             fields.push((l_ms, (*nanos as f64 / 1e6).into()));
         }
-        trace::emit_event("tensor_parallel", &fields);
+        trace::emit_event(trace::names::TENSOR_PARALLEL, &fields);
     }
+
+    // Memory-engine counters: pool hit/miss/allocation totals and bytes
+    // served from recycled buffers, so any run's JSONL records how much
+    // allocator traffic the pool absorbed.
+    let pool = &snap.pool;
+    trace::emit_event(
+        trace::names::TENSOR_MEMORY,
+        &[
+            ("enabled", pool.enabled.into()),
+            ("hits", (pool.hits as i64).into()),
+            ("misses", (pool.misses as i64).into()),
+            ("allocations", (pool.allocations as i64).into()),
+            ("returns", (pool.returns as i64).into()),
+            ("evictions", (pool.evictions as i64).into()),
+            ("bytes_reused", (pool.bytes_reused as i64).into()),
+            ("retained_bytes", (pool.retained_bytes as i64).into()),
+        ],
+    );
 }

@@ -17,7 +17,9 @@
 
 use crate::error::OodGnnError;
 use crate::rff::RffParams;
-use tensor::ops::Axis;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 use tensor::rng::Rng;
 use tensor::{NodeId, Tape, Tensor};
 
@@ -46,24 +48,76 @@ fn upper_triangle_mask(d: usize) -> Tensor {
     m
 }
 
-/// Center the columns of `[n, d]` and weight rows by `w` (`[n, 1]`):
-/// returns `w ⊙ x − mean_n(w ⊙ x)` as in Eq. 5.
-fn weighted_center(tape: &mut Tape, x: NodeId, w: NodeId) -> NodeId {
-    let wx = tape.mul(x, w);
-    let mean = tape.mean_axis(wx, Axis::Rows);
-    tape.sub(wx, mean)
+thread_local! {
+    /// Per-thread cache of upper-triangle masks keyed by `d`. The mask is
+    /// pure graph structure — it depends only on the representation width,
+    /// which is fixed for the lifetime of a model — so it is built once and
+    /// shared by `Rc` across every decorrelation call on the thread.
+    static MASK_CACHE: RefCell<HashMap<usize, Rc<Tensor>>> = RefCell::new(HashMap::new());
+}
+
+/// The shared strict-upper-triangle mask for width `d`.
+fn cached_upper_triangle_mask(d: usize) -> Rc<Tensor> {
+    MASK_CACHE.with(|c| {
+        Rc::clone(
+            c.borrow_mut()
+                .entry(d)
+                .or_insert_with(|| Rc::new(upper_triangle_mask(d))),
+        )
+    })
 }
 
 /// The pairwise covariance penalty between two centered feature matrices:
 /// `‖mask ⊙ (UᵀV)/(n−1)‖²_F` summed over the strict upper triangle.
-fn pair_penalty(tape: &mut Tape, u: NodeId, v: NodeId, mask: NodeId, n: usize) -> NodeId {
+///
+/// The scale/mask/square/sum tail is a single fused
+/// [`Tape::scaled_masked_sq_sum`] node: one pass over the `d×d` product
+/// instead of three intermediate `d×d` tensors plus a reduction.
+fn pair_penalty(tape: &mut Tape, u: NodeId, v: NodeId, mask: &Rc<Tensor>, n: usize) -> NodeId {
     let ut = tape.transpose(u);
     let prod = tape.matmul(ut, v);
     let scale = 1.0 / (n.max(2) as f32 - 1.0);
-    let cov = tape.mul_scalar(prod, scale);
-    let masked = tape.mul(cov, mask);
-    let sq = tape.square(masked);
-    tape.sum(sq)
+    tape.scaled_masked_sq_sum(prod, Rc::clone(mask), scale)
+}
+
+/// Reusable per-model state for the decorrelation objective: the cached
+/// `d×d` strict-upper-triangle mask and (for the RFF variant) the two
+/// independent RFF draws `f`, `g`.
+///
+/// Build one per batch with [`DecorrelationCtx::new`] and evaluate it any
+/// number of times with [`decorrelation_loss_with`] — the weight inner loop
+/// replays the same graph dozens of times per step, and the ctx keeps every
+/// loop-invariant tensor (mask, RFF rows) out of that loop.
+pub struct DecorrelationCtx {
+    kind: DecorrelationKind,
+    d: usize,
+    mask: Rc<Tensor>,
+    rff: Option<(RffParams, RffParams)>,
+}
+
+impl DecorrelationCtx {
+    /// Prepare a context for representations of width `d`. For
+    /// [`DecorrelationKind::Rff`] this draws the `f` and `g` function
+    /// tuples from `rng` (two independent draws, as in Eq. 4).
+    pub fn new(d: usize, kind: &DecorrelationKind, rng: &mut Rng) -> Self {
+        let rff = match kind {
+            DecorrelationKind::Rff { q } => {
+                Some((RffParams::sample(d, *q, rng), RffParams::sample(d, *q, rng)))
+            }
+            DecorrelationKind::Linear => None,
+        };
+        DecorrelationCtx {
+            kind: kind.clone(),
+            d,
+            mask: cached_upper_triangle_mask(d),
+            rff,
+        }
+    }
+
+    /// The representation width this context was prepared for.
+    pub fn d(&self) -> usize {
+        self.d
+    }
 }
 
 /// Build the decorrelation loss node for representations `z` (`[n, d]`)
@@ -75,6 +129,10 @@ fn pair_penalty(tape: &mut Tape, u: NodeId, v: NodeId, mask: NodeId, n: usize) -
 /// the weight-optimization inner loop (with `z` detached) and any
 /// encoder-side use (with `w` detached).
 ///
+/// This is a convenience wrapper that builds a fresh [`DecorrelationCtx`]
+/// per call; loops that replay the same graph should build the ctx once
+/// and call [`decorrelation_loss_with`].
+///
 /// # Errors
 /// Fails with [`OodGnnError::Shape`] when the weights are not rank 1 or 2
 /// or do not carry one entry per sample.
@@ -85,8 +143,34 @@ pub fn decorrelation_loss(
     kind: &DecorrelationKind,
     rng: &mut Rng,
 ) -> Result<NodeId, OodGnnError> {
+    let d = tape.shape(z).as_matrix().1;
+    let ctx = DecorrelationCtx::new(d, kind, rng);
+    decorrelation_loss_with(tape, z, w, &ctx)
+}
+
+/// Build the decorrelation loss node using a prepared [`DecorrelationCtx`]
+/// (shared mask, fixed RFF draws). Semantics match [`decorrelation_loss`];
+/// the centering and covariance-penalty stages run as fused single-pass
+/// kernels ([`Tape::weighted_center`], [`Tape::scaled_masked_sq_sum`],
+/// [`Tape::cos_feature`] inside [`RffParams::apply`]).
+///
+/// # Errors
+/// Fails with [`OodGnnError::Shape`] when the weights are malformed (see
+/// [`decorrelation_loss`]) or `z`'s width disagrees with the context.
+pub fn decorrelation_loss_with(
+    tape: &mut Tape,
+    z: NodeId,
+    w: NodeId,
+    ctx: &DecorrelationCtx,
+) -> Result<NodeId, OodGnnError> {
     trace::metrics::counter_add("decorrelation/calls", 1);
     let (n, d) = tape.shape(z).as_matrix();
+    if d != ctx.d {
+        return Err(OodGnnError::Shape(format!(
+            "decorrelation ctx prepared for d={}, got d={d}",
+            ctx.d
+        )));
+    }
     let w = match tape.shape(w).rank() {
         1 => tape.reshape(w, [n, 1]),
         2 => w,
@@ -102,29 +186,27 @@ pub fn decorrelation_loss(
             tape.shape(w)
         )));
     }
-    let mask = tape.constant(upper_triangle_mask(d));
-    let loss = match kind {
+    let loss = match &ctx.kind {
         DecorrelationKind::Linear => {
-            let u = weighted_center(tape, z, w);
-            pair_penalty(tape, u, u, mask, n)
+            let u = tape.weighted_center(z, w);
+            pair_penalty(tape, u, u, &ctx.mask, n)
         }
-        DecorrelationKind::Rff { q } => {
-            let f = RffParams::sample(d, *q, rng);
-            let g = RffParams::sample(d, *q, rng);
+        DecorrelationKind::Rff { .. } => {
+            let (f, g) = ctx.rff.as_ref().expect("rff ctx carries its draws");
             let fu: Vec<NodeId> = f
                 .apply(tape, z)
                 .into_iter()
-                .map(|feat| weighted_center(tape, feat, w))
+                .map(|feat| tape.weighted_center(feat, w))
                 .collect();
             let gv: Vec<NodeId> = g
                 .apply(tape, z)
                 .into_iter()
-                .map(|feat| weighted_center(tape, feat, w))
+                .map(|feat| tape.weighted_center(feat, w))
                 .collect();
             let mut total: Option<NodeId> = None;
             for &u in &fu {
                 for &v in &gv {
-                    let p = pair_penalty(tape, u, v, mask, n);
+                    let p = pair_penalty(tape, u, v, &ctx.mask, n);
                     total = Some(match total {
                         Some(t) => tape.add(t, p),
                         None => p,

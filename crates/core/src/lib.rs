@@ -41,7 +41,10 @@ pub mod trainer;
 pub mod weights;
 
 pub use checkpoint::{CheckpointConfig, TrainCheckpoint};
-pub use decorrelation::{decorrelation_loss, linear_loss_reference, DecorrelationKind};
+pub use decorrelation::{
+    decorrelation_loss, decorrelation_loss_with, linear_loss_reference, DecorrelationCtx,
+    DecorrelationKind,
+};
 pub use error::OodGnnError;
 pub use fault::FaultPlan;
 pub use global_local::GlobalMemory;

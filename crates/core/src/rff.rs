@@ -9,6 +9,7 @@
 //! independence (the paper's Variant-1 ablation; `Q = 1` is the paper's
 //! default, `Q = 5` is called "solid enough" by its reference \[58\]).
 
+use std::rc::Rc;
 use tensor::rng::Rng;
 use tensor::{NodeId, Tape, Tensor};
 
@@ -21,9 +22,10 @@ pub struct RffParams {
     /// Phases `[Q, d]`, drawn `Uniform(0, 2π)`.
     pub phi: Tensor,
     /// Per-function `[d]` row tensors `(w_q, φ_q)`, split out of `w`/`phi`
-    /// once at sample time so [`RffParams::apply`] does not clone each row
-    /// into a fresh constant on every batch of every epoch.
-    rows: Vec<(Tensor, Tensor)>,
+    /// once at sample time and held behind `Rc` so [`RffParams::apply`]
+    /// shares them with every fused `cos_feature` node instead of cloning
+    /// each row into a fresh constant on every batch of every epoch.
+    rows: Vec<(Rc<Tensor>, Rc<Tensor>)>,
 }
 
 impl RffParams {
@@ -33,7 +35,7 @@ impl RffParams {
         let w = Tensor::randn([q, d], rng);
         let phi = Tensor::rand_uniform([q, d], 0.0, 2.0 * std::f32::consts::PI, rng);
         let rows = (0..q)
-            .map(|qi| (row_of(&w, qi), row_of(&phi, qi)))
+            .map(|qi| (Rc::new(row_of(&w, qi)), Rc::new(row_of(&phi, qi))))
             .collect();
         RffParams { w, phi, rows }
     }
@@ -62,16 +64,12 @@ impl RffParams {
         self.rows
             .iter()
             .map(|(w_row, phi_row)| {
-                // Rows were materialized at sample time; recording a
-                // constant clones only the [d] vector, not a row extraction
-                // per batch. The elementwise kernels below run chunked on
-                // the parallel pool.
-                let w_row = tape.constant(w_row.clone());
-                let phi_row = tape.constant(phi_row.clone());
-                let scaled = tape.mul(z, w_row);
-                let shifted = tape.add(scaled, phi_row);
-                let cosed = tape.cos(shifted);
-                tape.mul_scalar(cosed, sqrt2)
+                // One fused node per function: the rows are captured by the
+                // op through the shared `Rc`s, so applying Q functions costs
+                // Q tape nodes and a single output buffer each, instead of
+                // the old mul→add→cos→mul_scalar chain with two constant
+                // clones per call.
+                tape.cos_feature(z, w_row.clone(), phi_row.clone(), sqrt2)
             })
             .collect()
     }

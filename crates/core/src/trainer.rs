@@ -11,7 +11,7 @@
 //! and checkpointing off.
 
 use crate::checkpoint::{CheckpointConfig, TrainCheckpoint};
-use crate::decorrelation::{decorrelation_loss, DecorrelationKind};
+use crate::decorrelation::{decorrelation_loss_with, DecorrelationCtx, DecorrelationKind};
 use crate::error::OodGnnError;
 use crate::fault::FaultPlan;
 use crate::global_local::GlobalMemory;
@@ -254,31 +254,42 @@ impl OodGnn {
             initial_loss: 0.0,
             final_loss: 0.0,
         };
+        // Everything the graph replays is loop-invariant, so it is built
+        // once: the concatenated representations (the memory updates only
+        // after the loop, and `concat`'s weight tail is discarded — only
+        // the global prefix `[..kb]` is read), the global weight prefix
+        // tensor, and the decorrelation context (shared mask + one RFF draw
+        // per batch, reused by every replay). With a column subset the
+        // memory layout (full d) cannot align, so the covariance runs over
+        // the local batch only.
+        let (z_hat, w_hat_globals) = if cols.is_none() {
+            self.memory
+                .concat(&z_used, w.values())
+                .map_err(InnerFailure::Fatal)?
+        } else {
+            (z_used.clone(), w.values().clone())
+        };
+        let kb = z_hat.nrows() - b; // rows contributed by global groups
+        let w_globals =
+            (kb > 0).then(|| Tensor::from_vec(w_hat_globals.data()[..kb].to_vec(), [kb, 1]));
+        let ctx = DecorrelationCtx::new(z_hat.ncols(), &self.config.decorrelation, rng);
+        // One tape for the whole loop: `reset` returns every node buffer to
+        // the thread's pool, so replay k+1 re-uses replay k's allocations.
+        let mut tape = Tape::new();
         for iter in 0..self.config.epoch_reweight {
-            // With a column subset the memory layout (full d) cannot align,
-            // so the covariance runs over the local batch only.
-            let (z_hat, w_hat_globals) = if cols.is_none() {
-                self.memory
-                    .concat(&z_used, w.values())
-                    .map_err(InnerFailure::Fatal)?
-            } else {
-                (z_used.clone(), w.values().clone())
-            };
-            let kb = z_hat.nrows() - b; // rows contributed by global groups
-            let mut tape = Tape::new();
-            let z_node = tape.constant(z_hat);
+            tape.reset();
+            let z_node = tape.constant(z_hat.clone());
             let w_local = w.bind(&mut tape);
             let w_local2 = tape.reshape(w_local, [b, 1]);
-            let w_full = if kb > 0 {
-                let w_g = Tensor::from_vec(w_hat_globals.data()[..kb].to_vec(), [kb, 1]);
-                let w_g = tape.constant(w_g);
-                tape.concat_rows(&[w_g, w_local2])
-            } else {
-                w_local2
+            let w_full = match &w_globals {
+                Some(wg) => {
+                    let w_g = tape.constant(wg.clone());
+                    tape.concat_rows(&[w_g, w_local2])
+                }
+                None => w_local2,
             };
-            let dec =
-                decorrelation_loss(&mut tape, z_node, w_full, &self.config.decorrelation, rng)
-                    .map_err(InnerFailure::Fatal)?;
+            let dec = decorrelation_loss_with(&mut tape, z_node, w_full, &ctx)
+                .map_err(InnerFailure::Fatal)?;
             let dec_value = tape.value(dec).item();
             if check && !dec_value.is_finite() {
                 w.param_mut().clear_binding();
@@ -554,7 +565,7 @@ impl OodGnn {
                 let ws: Vec<f32> = weight_of.values().copied().collect();
                 let s = weight_stats(&ws);
                 trace::emit_event(
-                    "epoch",
+                    trace::names::EPOCH,
                     &[
                         ("epoch", (epoch as i64).into()),
                         ("loss", (epoch_loss / denom).into()),
@@ -564,6 +575,19 @@ impl OodGnn {
                         ("w_max", s.max.into()),
                         ("w_entropy", s.entropy.into()),
                         ("w_ess", s.ess.into()),
+                    ],
+                );
+                let pool = tensor::pool::stats();
+                trace::emit_event(
+                    trace::names::TENSOR_MEMORY,
+                    &[
+                        ("epoch", (epoch as i64).into()),
+                        ("pool_enabled", pool.enabled.into()),
+                        ("pool_hits", (pool.hits as i64).into()),
+                        ("pool_misses", (pool.misses as i64).into()),
+                        ("allocations", (pool.allocations as i64).into()),
+                        ("bytes_reused", (pool.bytes_reused as i64).into()),
+                        ("retained_bytes", (pool.retained_bytes as i64).into()),
                     ],
                 );
                 trace::metrics::flush();
@@ -885,7 +909,14 @@ mod tests {
             let mut tape = Tape::new();
             let zn = tape.constant(z.clone());
             let wn = tape.leaf(w.clone());
-            let l = decorrelation_loss(&mut tape, zn, wn, &DecorrelationKind::Linear, rng).unwrap();
+            let l = crate::decorrelation::decorrelation_loss(
+                &mut tape,
+                zn,
+                wn,
+                &DecorrelationKind::Linear,
+                rng,
+            )
+            .unwrap();
             tape.value(l).item()
         };
         let uniform_loss = eval_loss(&Tensor::ones([n]), &mut Rng::seed_from(0));

@@ -1,0 +1,115 @@
+//! End-to-end buffer-pool neutrality: a full OOD-GNN training run —
+//! sample reweighting, RFF decorrelation, evaluation — must produce a
+//! bitwise-identical report with the tensor buffer pool enabled or
+//! disabled, at 1 thread and at 4. This is the memory engine's hard
+//! contract: recycling is invisible to the numerics.
+
+use datasets::triangles::{generate, TrianglesConfig};
+use gnn::encoder::ConvKind;
+use gnn::models::ModelConfig;
+use gnn::trainer::TrainConfig;
+use oodgnn_core::{OodGnn, OodGnnConfig, OodGnnReport, TrainOptions};
+use std::sync::Mutex;
+use tensor::rng::Rng;
+use tensor::{par, pool};
+
+/// `par::set_threads` and `pool::set_enabled` are process-global;
+/// serialize tests touching them.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_config() -> OodGnnConfig {
+    OodGnnConfig {
+        model: ModelConfig {
+            hidden: 16,
+            layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 3e-3,
+            ..Default::default()
+        },
+        epoch_reweight: 3,
+        encoder: ConvKind::Gin,
+        ..Default::default()
+    }
+}
+
+fn run_at(pool_on: bool, threads: usize) -> (OodGnnReport, pool::PoolStats) {
+    par::set_threads(threads);
+    pool::set_enabled(pool_on);
+    pool::reset_stats();
+    let bench = generate(&TrianglesConfig::scaled(0.02), 1);
+    let mut mrng = Rng::seed_from(7);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        quick_config(),
+        &mut mrng,
+    );
+    let report = model
+        .train_run(&bench, 11, TrainOptions::default())
+        .expect("training run completes");
+    (report, pool::stats())
+}
+
+fn restore() {
+    pool::set_enabled(true);
+    par::set_threads(par::max_threads());
+}
+
+fn assert_bitwise_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} != {y} (bitwise)"
+        );
+    }
+}
+
+fn assert_reports_bitwise_eq(a: &OodGnnReport, b: &OodGnnReport, what: &str) {
+    assert_bitwise_eq(&a.loss_curve, &b.loss_curve, &format!("{what}: loss_curve"));
+    assert_bitwise_eq(&a.hsic_curve, &b.hsic_curve, &format!("{what}: hsic_curve"));
+    assert_bitwise_eq(
+        &a.final_weights,
+        &b.final_weights,
+        &format!("{what}: final_weights"),
+    );
+    assert_eq!(
+        a.test_metric.to_bits(),
+        b.test_metric.to_bits(),
+        "{what}: test metric must match bitwise"
+    );
+}
+
+#[test]
+fn full_training_run_is_pool_invariant_at_any_thread_count() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (reference, ref_stats) = run_at(false, 1);
+    assert_eq!(ref_stats.hits, 0, "disabled pool must not recycle");
+    for (pool_on, threads) in [(true, 1), (false, 4), (true, 4)] {
+        let (got, stats) = run_at(pool_on, threads);
+        assert_reports_bitwise_eq(
+            &reference,
+            &got,
+            &format!("pool={pool_on} t={threads} vs pool=off t=1"),
+        );
+        if pool_on {
+            assert!(
+                stats.hits > 0,
+                "pooled training run never recycled a buffer: {stats:?}"
+            );
+            assert!(
+                stats.allocations < ref_stats.allocations,
+                "pool must reduce fresh allocations: {} vs {}",
+                stats.allocations,
+                ref_stats.allocations
+            );
+        }
+    }
+    restore();
+}

@@ -26,6 +26,7 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod par;
+pub mod pool;
 pub mod profile;
 pub mod rng;
 pub mod serialize;

@@ -8,6 +8,7 @@
 pub mod loss;
 
 use crate::par;
+use crate::pool;
 use crate::profile::Kernel;
 use crate::shape::{broadcast_shapes, reduce_grad_to, Shape};
 use crate::tape::{NodeId, Tape};
@@ -96,6 +97,18 @@ pub enum Op {
     SegmentMin(NodeId, Rc<Vec<usize>>, usize),
     /// Row-wise log-softmax of a matrix.
     LogSoftmax(NodeId),
+    /// Fused weighted centering `w ⊙ x − colmean(w ⊙ x)` for `x: [n,d]`,
+    /// `w: [n,1]` — the decorrelation `mul → mean_axis → sub` chain as a
+    /// single two-pass kernel over one output buffer.
+    WeightedCenter(NodeId, NodeId),
+    /// Fused scalar penalty `Σ (scale · x ⊙ mask)²` with a constant mask
+    /// — the pair-penalty `mul_scalar → mul → square → sum` chain as one
+    /// single-pass reduction, no intermediates materialized.
+    ScaledMaskedSqSum(NodeId, Rc<Tensor>, f32),
+    /// Fused RFF feature `amp · cos(x ⊙ w_row + phi_row)` with constant
+    /// `[d]` rows broadcast over the rows of `x: [n,d]` — one node per
+    /// feature instead of four ops plus two constant nodes.
+    CosFeature(NodeId, Rc<Tensor>, Rc<Tensor>, f32),
 }
 
 impl Op {
@@ -103,7 +116,12 @@ impl Op {
     pub fn inputs(&self) -> Vec<NodeId> {
         match self {
             Op::Leaf => vec![],
-            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) | Op::Matmul(a, b) => {
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::Matmul(a, b)
+            | Op::WeightedCenter(a, b) => {
                 vec![*a, *b]
             }
             Op::Neg(a)
@@ -129,7 +147,9 @@ impl Op {
             | Op::ScatterAddRows(a, _, _)
             | Op::SegmentMax(a, _, _)
             | Op::SegmentMin(a, _, _)
-            | Op::LogSoftmax(a) => vec![*a],
+            | Op::LogSoftmax(a)
+            | Op::ScaledMaskedSqSum(a, _, _)
+            | Op::CosFeature(a, _, _, _) => vec![*a],
             Op::ConcatRows(xs) | Op::ConcatCols(xs) => xs.as_ref().clone(),
         }
     }
@@ -192,6 +212,13 @@ impl Op {
             Op::SegmentMax(a, seg, n) => segment_extreme(v(a), seg, *n, true).0,
             Op::SegmentMin(a, seg, n) => segment_extreme(v(a), seg, *n, false).0,
             Op::LogSoftmax(a) => log_softmax(v(a)),
+            Op::WeightedCenter(a, b) => weighted_center_forward(v(a), v(b)),
+            Op::ScaledMaskedSqSum(a, mask, scale) => {
+                scaled_masked_sq_sum_forward(v(a), mask, *scale)
+            }
+            Op::CosFeature(a, w_row, phi_row, amp) => {
+                cos_feature_forward(v(a), w_row, phi_row, *amp)
+            }
         }
     }
 
@@ -315,9 +342,10 @@ impl Op {
                 for id in xs.iter() {
                     let c = tape.value(*id).ncols();
                     let mut g = Tensor::zeros([rows, c]);
+                    let gd = g.data_mut();
                     for i in 0..rows {
                         for j in 0..c {
-                            g.data_mut()[i * c + j] = grad.data()[i * total_c + col + j];
+                            gd[i * c + j] = grad.data()[i * total_c + col + j];
                         }
                     }
                     out.push((*id, g));
@@ -342,6 +370,16 @@ impl Op {
             }
             Op::SegmentMin(a, seg, n) => {
                 vec![(*a, segment_extreme_backward(v(a), seg, *n, false, grad))]
+            }
+            Op::WeightedCenter(a, b) => {
+                let (gx, gw) = weighted_center_backward(v(a), v(b), grad);
+                vec![(*a, gx), (*b, gw)]
+            }
+            Op::ScaledMaskedSqSum(a, mask, scale) => {
+                vec![(*a, scaled_masked_sq_sum_backward(v(a), mask, *scale, grad))]
+            }
+            Op::CosFeature(a, w_row, phi_row, amp) => {
+                vec![(*a, cos_feature_backward(v(a), w_row, phi_row, *amp, grad))]
             }
             Op::LogSoftmax(a) => {
                 // dx = g - softmax(x) * rowsum(g)
@@ -395,8 +433,9 @@ fn sum_axis(x: &Tensor, axis: Axis) -> Tensor {
         Axis::Rows => x.sum_rows(),
         Axis::Cols => {
             let mut out = Tensor::zeros([r]);
-            for i in 0..r {
-                out.data_mut()[i] = x.row(i).iter().sum();
+            let od = out.data_mut();
+            for (i, slot) in od.iter_mut().enumerate() {
+                *slot = x.row(i).iter().sum();
             }
             let _ = c;
             out
@@ -408,12 +447,13 @@ fn sum_axis(x: &Tensor, axis: Axis) -> Tensor {
 fn spread_axis(grad: &Tensor, input_shape: &Shape, axis: Axis, scale: f32) -> Tensor {
     let (r, c) = input_shape.as_matrix();
     let mut out = Tensor::zeros([r, c]);
+    let od = out.data_mut();
     match axis {
         Axis::Rows => {
             debug_assert_eq!(grad.numel(), c);
             for i in 0..r {
                 for j in 0..c {
-                    out.data_mut()[i * c + j] = grad.data()[j] * scale;
+                    od[i * c + j] = grad.data()[j] * scale;
                 }
             }
         }
@@ -421,7 +461,7 @@ fn spread_axis(grad: &Tensor, input_shape: &Shape, axis: Axis, scale: f32) -> Te
             debug_assert_eq!(grad.numel(), r);
             for i in 0..r {
                 for j in 0..c {
-                    out.data_mut()[i * c + j] = grad.data()[i] * scale;
+                    od[i * c + j] = grad.data()[i] * scale;
                 }
             }
         }
@@ -434,13 +474,14 @@ fn concat_cols(parts: &[&Tensor]) -> Tensor {
     let r = parts[0].nrows();
     let total_c: usize = parts.iter().map(|t| t.ncols()).sum();
     let mut out = Tensor::zeros([r, total_c]);
+    let od = out.data_mut();
     let mut col = 0usize;
     for p in parts {
         assert_eq!(p.nrows(), r, "concat_cols row mismatch");
         let c = p.ncols();
         for i in 0..r {
             for j in 0..c {
-                out.data_mut()[i * total_c + col + j] = p.at(i, j);
+                od[i * total_c + col + j] = p.at(i, j);
             }
         }
         col += c;
@@ -533,11 +574,12 @@ fn segment_extreme_backward(
     let (r, c) = x.shape().as_matrix();
     let (_, args) = segment_extreme(x, seg, n, is_max);
     let mut g = Tensor::zeros([r, c]);
+    let gd = g.data_mut();
     for s in 0..n {
         for j in 0..c {
             let i = args[s * c + j];
             if i != usize::MAX {
-                g.data_mut()[i * c + j] += grad.at(s, j);
+                gd[i * c + j] += grad.at(s, j);
             }
         }
     }
@@ -570,6 +612,178 @@ fn log_softmax(x: &Tensor) -> Tensor {
         },
     );
     out
+}
+
+/// Column means of a row-major `[n,d]` buffer, accumulated in ascending
+/// row order — the same float schedule as `sum_rows`, so the fused ops
+/// match their unfused compositions bitwise.
+fn colmeans(data: &[f32], n: usize, d: usize) -> Vec<f32> {
+    let mut m = vec![0.0f32; d];
+    for i in 0..n {
+        for (slot, &v) in m.iter_mut().zip(&data[i * d..(i + 1) * d]) {
+            *slot += v;
+        }
+    }
+    let inv = 1.0 / n.max(1) as f32;
+    for slot in &mut m {
+        *slot *= inv;
+    }
+    m
+}
+
+/// Forward for [`Op::WeightedCenter`]: `y = w ⊙ x − colmean(w ⊙ x)`.
+/// Two passes over one output buffer; the unfused chain materializes
+/// three intermediates and walks the matrix four times.
+fn weighted_center_forward(x: &Tensor, w: &Tensor) -> Tensor {
+    let (n, d) = x.shape().as_matrix();
+    let mut data = pool::take_raw(n * d);
+    par::for_each_row(
+        &mut data,
+        n,
+        d,
+        row_grain(d),
+        Kernel::Elementwise,
+        |i, row| {
+            let wi = w.data()[i];
+            for (slot, &xv) in row.iter_mut().zip(x.row(i)) {
+                *slot = xv * wi;
+            }
+        },
+    );
+    let mean = colmeans(&data, n, d);
+    par::for_each_row(
+        &mut data,
+        n,
+        d,
+        row_grain(d),
+        Kernel::Elementwise,
+        |_, row| {
+            for (slot, &m) in row.iter_mut().zip(mean.iter()) {
+                *slot -= m;
+            }
+        },
+    );
+    Tensor::from_vec(data, [n, d])
+}
+
+/// Backward for [`Op::WeightedCenter`]:
+/// `gx[i,j] = w[i]·(g[i,j] − ḡ[j])`, `gw[i] = Σ_j x[i,j]·(g[i,j] − ḡ[j])`
+/// where `ḡ` is the column mean of the incoming gradient.
+fn weighted_center_backward(x: &Tensor, w: &Tensor, grad: &Tensor) -> (Tensor, Tensor) {
+    let (n, d) = x.shape().as_matrix();
+    let gmean = colmeans(grad.data(), n, d);
+    let mut gx = pool::take_raw(n * d);
+    par::for_each_row(
+        &mut gx,
+        n,
+        d,
+        row_grain(d),
+        Kernel::Elementwise,
+        |i, row| {
+            let wi = w.data()[i];
+            for ((slot, &gv), &mv) in row.iter_mut().zip(grad.row(i)).zip(gmean.iter()) {
+                *slot = wi * (gv - mv);
+            }
+        },
+    );
+    let mut gw = pool::take_raw(n);
+    par::fill(&mut gw, row_grain(d), Kernel::Reduce, |i| {
+        x.row(i)
+            .iter()
+            .zip(grad.row(i))
+            .zip(gmean.iter())
+            .map(|((&xv, &gv), &mv)| xv * (gv - mv))
+            .sum()
+    });
+    (Tensor::from_vec(gx, [n, d]), Tensor::from_vec(gw, [n, 1]))
+}
+
+/// Forward for [`Op::ScaledMaskedSqSum`]: `Σ ((scale·x) ⊙ mask)²` as a
+/// chunked tree reduction (deterministic at any thread count).
+fn scaled_masked_sq_sum_forward(x: &Tensor, mask: &Tensor, scale: f32) -> Tensor {
+    let xd = x.data();
+    let md = mask.data();
+    let total = par::map_reduce(
+        xd.len(),
+        4096,
+        Kernel::Reduce,
+        |range| {
+            let mut acc = 0.0f32;
+            for k in range {
+                let t = scale * xd[k] * md[k];
+                acc += t * t;
+            }
+            acc
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0);
+    Tensor::scalar(total)
+}
+
+/// Backward for [`Op::ScaledMaskedSqSum`]: `gx = g · 2·scale²·x ⊙ mask²`.
+fn scaled_masked_sq_sum_backward(x: &Tensor, mask: &Tensor, scale: f32, grad: &Tensor) -> Tensor {
+    let xd = x.data();
+    let md = mask.data();
+    let coef = 2.0 * scale * scale * grad.item();
+    let mut gx = pool::take_raw(xd.len());
+    par::fill(&mut gx, 4096, Kernel::Elementwise, |k| {
+        coef * xd[k] * md[k] * md[k]
+    });
+    Tensor::from_vec(gx, x.shape().clone())
+}
+
+/// Forward for [`Op::CosFeature`]: `amp · cos(x ⊙ w_row + phi_row)` with
+/// the `[d]` rows broadcast over every row of `x`.
+fn cos_feature_forward(x: &Tensor, w_row: &Tensor, phi_row: &Tensor, amp: f32) -> Tensor {
+    let (n, d) = x.shape().as_matrix();
+    let wd = w_row.data();
+    let pd = phi_row.data();
+    let mut out = pool::take_raw(n * d);
+    par::for_each_row(
+        &mut out,
+        n,
+        d,
+        row_grain(d),
+        Kernel::Elementwise,
+        |i, row| {
+            let xr = x.row(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = (xr[j] * wd[j] + pd[j]).cos() * amp;
+            }
+        },
+    );
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+/// Backward for [`Op::CosFeature`]:
+/// `gx[i,j] = −amp · sin(x[i,j]·w[j] + phi[j]) · w[j] · g[i,j]`.
+fn cos_feature_backward(
+    x: &Tensor,
+    w_row: &Tensor,
+    phi_row: &Tensor,
+    amp: f32,
+    grad: &Tensor,
+) -> Tensor {
+    let (n, d) = x.shape().as_matrix();
+    let wd = w_row.data();
+    let pd = phi_row.data();
+    let mut gx = pool::take_raw(n * d);
+    par::for_each_row(
+        &mut gx,
+        n,
+        d,
+        row_grain(d),
+        Kernel::Elementwise,
+        |i, row| {
+            let xr = x.row(i);
+            let gr = grad.row(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = -amp * (xr[j] * wd[j] + pd[j]).sin() * wd[j] * gr[j];
+            }
+        },
+    );
+    Tensor::from_vec(gx, x.shape().clone())
 }
 
 // -------------------------------------------------------------------------
@@ -798,6 +1012,48 @@ impl Tape {
     pub fn softmax(&mut self, a: NodeId) -> NodeId {
         let ls = self.log_softmax(a);
         self.exp(ls)
+    }
+
+    /// Fused weighted centering `w ⊙ x − colmean(w ⊙ x)` for `x: [n,d]`
+    /// and a column weight vector `w: [n,1]`. Bitwise-equal to the
+    /// unfused `mul → mean_axis(Rows) → sub` chain.
+    pub fn weighted_center(&mut self, x: NodeId, w: NodeId) -> NodeId {
+        let (n, _) = self.shape(x).as_matrix();
+        assert_eq!(
+            self.shape(w).dims(),
+            &[n, 1],
+            "weighted_center expects w of shape [n,1]"
+        );
+        self.record(Op::WeightedCenter(x, w))
+    }
+
+    /// Fused scalar penalty `Σ ((scale·x) ⊙ mask)²`. The mask is a plain
+    /// constant captured by the op (no tape node), shareable across calls
+    /// via the `Rc`.
+    pub fn scaled_masked_sq_sum(&mut self, x: NodeId, mask: Rc<Tensor>, scale: f32) -> NodeId {
+        assert_eq!(
+            self.shape(x).numel(),
+            mask.numel(),
+            "scaled_masked_sq_sum mask size mismatch"
+        );
+        self.record(Op::ScaledMaskedSqSum(x, mask, scale))
+    }
+
+    /// Fused RFF feature `amp · cos(x ⊙ w_row + phi_row)` for `x: [n,d]`
+    /// and constant `[d]` rows broadcast over every row of `x`. The rows
+    /// are captured by the op (no constant nodes), shareable across calls
+    /// via the `Rc`s.
+    pub fn cos_feature(
+        &mut self,
+        x: NodeId,
+        w_row: Rc<Tensor>,
+        phi_row: Rc<Tensor>,
+        amp: f32,
+    ) -> NodeId {
+        let (_, d) = self.shape(x).as_matrix();
+        assert_eq!(w_row.numel(), d, "cos_feature w_row length mismatch");
+        assert_eq!(phi_row.numel(), d, "cos_feature phi_row length mismatch");
+        self.record(Op::CosFeature(x, w_row, phi_row, amp))
     }
 }
 
@@ -1111,5 +1367,133 @@ mod tests {
         let a = tp.leaf(Tensor::zeros([2, 3]));
         let b = tp.leaf(Tensor::zeros([3, 2]));
         let _ = tp.add(a, b);
+    }
+
+    // ------------------------------------------------------- fused kernels
+
+    #[test]
+    fn weighted_center_matches_unfused_bitwise() {
+        let mut rng = crate::rng::Rng::seed_from(7);
+        let x = Tensor::randn([5, 4], &mut rng);
+        let w = Tensor::rand_uniform([5, 1], 0.1, 2.0, &mut rng);
+
+        let mut tp = Tape::new();
+        let xn = tp.leaf(x.clone());
+        let wn = tp.leaf(w.clone());
+        let fused = tp.weighted_center(xn, wn);
+
+        let wx = tp.mul(xn, wn);
+        let mean = tp.mean_axis(wx, Axis::Rows);
+        let unfused = tp.sub(wx, mean);
+
+        let (a, b) = (tp.value(fused).data(), tp.value(unfused).data());
+        assert_eq!(a.len(), b.len());
+        for (va, vb) in a.iter().zip(b.iter()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "fused {va} vs unfused {vb}");
+        }
+    }
+
+    #[test]
+    fn weighted_center_gradcheck() {
+        use crate::check::assert_gradients;
+        let mut rng = crate::rng::Rng::seed_from(11);
+        let x = Tensor::randn([4, 3], &mut rng);
+        let w = Tensor::rand_uniform([4, 1], 0.2, 1.5, &mut rng);
+        // Sum of the centered output is identically zero, so square first
+        // to get a non-degenerate scalar.
+        assert_gradients(&[x, w], 1e-2, 2e-2, |t, ids| {
+            let y = t.weighted_center(ids[0], ids[1]);
+            let y2 = t.mul(y, y);
+            t.sum(y2)
+        });
+    }
+
+    #[test]
+    fn scaled_masked_sq_sum_matches_unfused() {
+        let mut rng = crate::rng::Rng::seed_from(13);
+        let x = Tensor::randn([6, 6], &mut rng);
+        let mut mask = Tensor::zeros([6, 6]);
+        let md = mask.data_mut();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                md[i * 6 + j] = 1.0;
+            }
+        }
+        let scale = 1.0 / 5.0;
+
+        let mut tp = Tape::new();
+        let xn = tp.leaf(x.clone());
+        let fused = tp.scaled_masked_sq_sum(xn, Rc::new(mask.clone()), scale);
+
+        let mn = tp.constant(mask);
+        let scaled = tp.mul_scalar(xn, scale);
+        let masked = tp.mul(scaled, mn);
+        let sq = tp.mul(masked, masked);
+        let unfused = tp.sum(sq);
+
+        let (a, b) = (tp.value(fused).item(), tp.value(unfused).item());
+        // Chunked tree reduction vs. sequential sum: tolerance, not bits.
+        assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn scaled_masked_sq_sum_gradcheck() {
+        use crate::check::assert_gradients;
+        let mut rng = crate::rng::Rng::seed_from(17);
+        let x = Tensor::randn([4, 4], &mut rng);
+        let mut mask = Tensor::zeros([4, 4]);
+        let md = mask.data_mut();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                md[i * 4 + j] = 1.0;
+            }
+        }
+        let mask = Rc::new(mask);
+        assert_gradients(&[x], 1e-2, 2e-2, move |t, ids| {
+            t.scaled_masked_sq_sum(ids[0], mask.clone(), 0.5)
+        });
+    }
+
+    #[test]
+    fn cos_feature_matches_unfused_bitwise() {
+        let mut rng = crate::rng::Rng::seed_from(19);
+        let x = Tensor::randn([5, 3], &mut rng);
+        let w = Tensor::randn([3], &mut rng);
+        let phi = Tensor::rand_uniform([3], 0.0, std::f32::consts::TAU, &mut rng);
+        let amp = std::f32::consts::SQRT_2;
+
+        let mut tp = Tape::new();
+        let xn = tp.leaf(x.clone());
+        let fused = tp.cos_feature(xn, Rc::new(w.clone()), Rc::new(phi.clone()), amp);
+
+        let wn = tp.constant(w);
+        let pn = tp.constant(phi);
+        let prod = tp.mul(xn, wn);
+        let arg = tp.add(prod, pn);
+        let cosv = tp.cos(arg);
+        let unfused = tp.mul_scalar(cosv, amp);
+
+        let (a, b) = (tp.value(fused).data(), tp.value(unfused).data());
+        for (va, vb) in a.iter().zip(b.iter()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "fused {va} vs unfused {vb}");
+        }
+    }
+
+    #[test]
+    fn cos_feature_gradcheck() {
+        use crate::check::assert_gradients;
+        let mut rng = crate::rng::Rng::seed_from(23);
+        let x = Tensor::randn([4, 3], &mut rng);
+        let w = Rc::new(Tensor::randn([3], &mut rng));
+        let phi = Rc::new(Tensor::rand_uniform(
+            [3],
+            0.0,
+            std::f32::consts::TAU,
+            &mut rng,
+        ));
+        assert_gradients(&[x], 1e-3, 2e-2, move |t, ids| {
+            let y = t.cos_feature(ids[0], w.clone(), phi.clone(), 1.5);
+            t.sum(y)
+        });
     }
 }

@@ -155,10 +155,11 @@ impl Optimizer for Adam {
                 let pv = p.value.clone();
                 p.value.axpy(-lr * wd, &pv);
             }
-            for i in 0..p.value.numel() {
+            let pd = p.value.data_mut();
+            for (i, slot) in pd.iter_mut().enumerate() {
                 let mhat = st.m.data()[i] / bc1;
                 let vhat = st.v.data()[i] / bc2;
-                p.value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                *slot -= lr * mhat / (vhat.sqrt() + eps);
             }
             p.clear_binding();
         }

@@ -14,7 +14,7 @@ use crate::ops::Op;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of [`Op`] kinds tracked (one counter per enum variant).
-pub const N_OPS: usize = 32;
+pub const N_OPS: usize = 35;
 
 /// Display names, indexed like the per-op counters.
 pub const OP_NAMES: [&str; N_OPS] = [
@@ -50,6 +50,9 @@ pub const OP_NAMES: [&str; N_OPS] = [
     "segment_max",
     "segment_min",
     "log_softmax",
+    "weighted_center",
+    "scaled_masked_sq_sum",
+    "cos_feature",
 ];
 
 pub(crate) fn op_kind(op: &Op) -> usize {
@@ -86,6 +89,9 @@ pub(crate) fn op_kind(op: &Op) -> usize {
         Op::SegmentMax(..) => 29,
         Op::SegmentMin(..) => 30,
         Op::LogSoftmax(..) => 31,
+        Op::WeightedCenter(..) => 32,
+        Op::ScaledMaskedSqSum(..) => 33,
+        Op::CosFeature(..) => 34,
     }
 }
 
@@ -189,6 +195,9 @@ pub struct ProfileSnapshot {
     /// Wall-clock nanoseconds spent inside parallel regions, per kernel
     /// family (region duration, not summed per-thread time).
     pub par_nanos: [u64; N_KERNELS],
+    /// Buffer-pool counters (hits, misses, bytes reused, …) from the
+    /// tensor memory engine ([`crate::pool`]).
+    pub pool: crate::pool::PoolStats,
 }
 
 impl ProfileSnapshot {
@@ -254,6 +263,7 @@ pub fn snapshot() -> ProfileSnapshot {
         par_regions,
         par_chunks,
         par_nanos,
+        pool: crate::pool::stats(),
     }
 }
 

@@ -65,10 +65,14 @@ impl Gradients {
 
     /// Like [`Gradients::get`] but returns a zero tensor of the given shape
     /// when no gradient reached the node.
+    ///
+    /// Allocation-free in both arms: present gradients are returned as an
+    /// O(1) copy-on-write clone, absent ones as a cached shared-zeros
+    /// tensor — callers that only read never trigger a buffer copy.
     pub fn get_or_zeros(&self, id: NodeId, shape: &Shape) -> Tensor {
         self.get(id)
             .cloned()
-            .unwrap_or_else(|| Tensor::zeros(shape.clone()))
+            .unwrap_or_else(|| crate::pool::shared_zeros(shape))
     }
 }
 
@@ -98,6 +102,16 @@ impl Tape {
         self.nodes[id.0].value.shape()
     }
 
+    /// Clear the tape for the next replay while keeping the node arena's
+    /// capacity. Node buffers return to the thread's buffer pool
+    /// ([`crate::pool`]), so the next identically-shaped graph re-uses
+    /// them instead of hitting the allocator.
+    pub fn reset(&mut self) {
+        crate::profile::release_bytes(self.arena_bytes);
+        self.arena_bytes = 0;
+        self.nodes.clear();
+    }
+
     /// Record a differentiable leaf (a parameter or an input that needs
     /// gradients).
     pub fn leaf(&mut self, value: Tensor) -> NodeId {
@@ -110,7 +124,9 @@ impl Tape {
     }
 
     /// Re-enter a node's value as a fresh constant, cutting the gradient
-    /// connection (like `detach()` in other frameworks).
+    /// connection (like `detach()` in other frameworks). O(1): the
+    /// constant shares the node's copy-on-write buffer instead of copying
+    /// it.
     pub fn detach(&mut self, id: NodeId) -> NodeId {
         let v = self.nodes[id.0].value.clone();
         self.constant(v)
@@ -149,7 +165,9 @@ impl Tape {
             self.nodes[root.0].value.shape()
         );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[root.0] = Some(Tensor::full(self.nodes[root.0].value.shape().clone(), 1.0));
+        // Cached shared-ones seed: backward is called once per step, and
+        // the seed shape repeats forever — no per-call allocation.
+        grads[root.0] = Some(crate::pool::shared_ones(self.nodes[root.0].value.shape()));
         for i in (0..=root.0).rev() {
             let Some(grad) = grads[i].take() else {
                 continue;

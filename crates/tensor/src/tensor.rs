@@ -1,25 +1,101 @@
 //! The dense, row-major `f32` tensor type and its eager (non-autodiff) ops.
 
 use crate::par;
+use crate::pool;
 use crate::profile::Kernel;
 use crate::rng::Rng;
 use crate::shape::{broadcast_shapes, BroadcastMap, Shape};
 use std::fmt;
+use std::sync::Arc;
 
 /// Elementwise kernels fan out above this many elements per chunk.
 const ELEMENTWISE_GRAIN: usize = 4096;
 /// Approximate multiply-adds per matmul row-chunk.
 const MATMUL_GRAIN_OPS: usize = 16_384;
 
+/// Heap buffer that recycles itself through the [`pool`] on drop.
+struct Buf(Vec<f32>);
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.0));
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Buf {
+        let mut v = pool::take_raw(self.0.len());
+        v.copy_from_slice(&self.0);
+        Buf(v)
+    }
+}
+
+/// Copy-on-write tensor storage: an `Arc`-shared, pool-recycled buffer.
+///
+/// Cloning is O(1) (a refcount bump); the first mutation of a shared
+/// buffer copies it ([`Arc::make_mut`]). `Arc` rather than `Rc` because
+/// the parallel kernels capture `&Tensor` in `Sync` closures.
+#[derive(Clone)]
+struct Storage(Arc<Buf>);
+
+impl Storage {
+    #[inline]
+    fn new(v: Vec<f32>) -> Storage {
+        Storage(Arc::new(Buf(v)))
+    }
+
+    /// Mutable view, copying first if the buffer is shared.
+    #[inline]
+    fn make_mut(&mut self) -> &mut [f32] {
+        &mut Arc::make_mut(&mut self.0).0
+    }
+
+    /// Extract the raw buffer without a copy when uniquely owned.
+    fn into_vec(self) -> Vec<f32> {
+        match Arc::try_unwrap(self.0) {
+            // mem::take leaves the Buf empty so its Drop gives nothing back.
+            Ok(mut b) => std::mem::take(&mut b.0),
+            Err(arc) => {
+                let mut v = pool::take_raw(arc.0.len());
+                v.copy_from_slice(&arc.0);
+                v
+            }
+        }
+    }
+
+    #[inline]
+    fn ptr_eq(&self, other: &Storage) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::ops::Deref for Storage {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.0 .0
+    }
+}
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// All autodiff flows through [`crate::Tape`]; `Tensor` itself is the plain
 /// value type with eager operations used both by the tape internals and by
 /// non-differentiable code (data generation, metrics, weight projection).
-#[derive(Clone, PartialEq)]
+/// Storage is copy-on-write and pool-recycled: clones share the buffer
+/// until one side mutates, and dropped buffers return to the thread's
+/// [`pool`] for the next identically-shaped allocation.
+#[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Shape,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && (self.data.ptr_eq(&other.data) || self.data[..] == other.data[..])
+    }
 }
 
 impl Tensor {
@@ -37,24 +113,33 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { data, shape }
+        Tensor {
+            data: Storage::new(data),
+            shape,
+        }
+    }
+
+    /// Internal ctor: wrap a pool-obtained buffer (length already checked
+    /// by the caller's construction).
+    #[inline]
+    fn from_raw(data: Vec<f32>, shape: Shape) -> Self {
+        debug_assert_eq!(data.len(), shape.numel());
+        Tensor {
+            data: Storage::new(data),
+            shape,
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor {
-            data: vec![v],
-            shape: Shape::scalar(),
-        }
+        Tensor::full(Shape::scalar(), v)
     }
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor {
-            data: vec![0.0; shape.numel()],
-            shape,
-        }
+        let data = pool::take_zeroed(shape.numel());
+        Tensor::from_raw(data, shape)
     }
 
     /// All-ones tensor of the given shape.
@@ -65,17 +150,17 @@ impl Tensor {
     /// Constant-filled tensor of the given shape.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
-        Tensor {
-            data: vec![v; shape.numel()],
-            shape,
-        }
+        let mut data = pool::take_raw(shape.numel());
+        data.fill(v);
+        Tensor::from_raw(data, shape)
     }
 
     /// Identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros([n, n]);
+        let d = t.data.make_mut();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            d[i * n + i] = 1.0;
         }
         t
     }
@@ -83,15 +168,21 @@ impl Tensor {
     /// Tensor with entries drawn i.i.d. from `N(0, 1)`.
     pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
-        Tensor { data, shape }
+        let mut data = pool::take_raw(shape.numel());
+        for slot in data.iter_mut() {
+            *slot = rng.normal();
+        }
+        Tensor::from_raw(data, shape)
     }
 
     /// Tensor with entries drawn i.i.d. from `Uniform(lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
-        Tensor { data, shape }
+        let mut data = pool::take_raw(shape.numel());
+        for slot in data.iter_mut() {
+            *slot = rng.uniform(lo, hi);
+        }
+        Tensor::from_raw(data, shape)
     }
 
     // ------------------------------------------------------------ accessors
@@ -111,14 +202,15 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable raw row-major data.
+    /// Mutable raw row-major data (copies first if the buffer is shared —
+    /// hoist this call out of per-element loops).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
-    /// Consume into the raw buffer.
+    /// Consume into the raw buffer (no copy when uniquely owned).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// The single value of a one-element tensor.
@@ -144,7 +236,7 @@ impl Tensor {
     /// Mutable matrix element accessor.
     pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f32 {
         let (_, c) = self.shape.as_matrix();
-        &mut self.data[row * c + col]
+        &mut self.data.make_mut()[row * c + col]
     }
 
     /// A row of a matrix as a slice.
@@ -183,13 +275,13 @@ impl Tensor {
     /// Transpose of a 2-D matrix.
     pub fn transpose(&self) -> Tensor {
         let (r, c) = self.shape.as_matrix();
-        let mut out = Tensor::zeros([c, r]);
+        let mut data = pool::take_raw(r * c);
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                data[j * r + i] = self.data[i * c + j];
             }
         }
-        out
+        Tensor::from_raw(data, Shape::new(&[c, r]))
     }
 
     // ------------------------------------------------------- element-wise
@@ -198,19 +290,21 @@ impl Tensor {
     /// the parallel pool for large tensors; element order (and therefore
     /// the result, bitwise) is identical at any thread count.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = pool::take_raw(self.data.len());
         par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
             f(self.data[i])
         });
-        Tensor {
-            data,
-            shape: self.shape.clone(),
-        }
+        Tensor::from_raw(data, self.shape.clone())
     }
 
     /// Apply `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        par::map_inplace(&mut self.data, ELEMENTWISE_GRAIN, Kernel::Elementwise, f);
+        par::map_inplace(
+            self.data.make_mut(),
+            ELEMENTWISE_GRAIN,
+            Kernel::Elementwise,
+            f,
+        );
     }
 
     /// Broadcasting binary op: `f(a, b)` with NumPy broadcast semantics.
@@ -220,28 +314,22 @@ impl Tensor {
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
             // Fast path: same shape, no index mapping.
-            let mut data = vec![0.0f32; self.data.len()];
+            let mut data = pool::take_raw(self.data.len());
             par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
                 f(self.data[i], other.data[i])
             });
-            return Tensor {
-                data,
-                shape: self.shape.clone(),
-            };
+            return Tensor::from_raw(data, self.shape.clone());
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)
             .unwrap_or_else(|| panic!("incompatible broadcast: {} vs {}", self.shape, other.shape));
         let map = BroadcastMap::new(&self.shape, &other.shape, &out_shape);
         let n = out_shape.numel();
-        let mut data = vec![0.0f32; n];
+        let mut data = pool::take_raw(n);
         par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
             let (ia, ib) = map.map(i);
             f(self.data[ia], other.data[ib])
         });
-        Tensor {
-            data,
-            shape: out_shape,
-        }
+        Tensor::from_raw(data, out_shape)
     }
 
     /// Element-wise (broadcasting) addition.
@@ -277,7 +365,7 @@ impl Tensor {
     /// In-place `self += alpha * other` (same shapes).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.data.make_mut().iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
@@ -311,13 +399,13 @@ impl Tensor {
     /// Sum over axis 0 of a matrix, producing a row vector of shape `[cols]`.
     pub fn sum_rows(&self) -> Tensor {
         let (r, c) = self.shape.as_matrix();
-        let mut out = Tensor::zeros([c]);
+        let mut data = pool::take_zeroed(c);
         for i in 0..r {
-            for j in 0..c {
-                out.data[j] += self.data[i * c + j];
+            for (slot, &v) in data.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                *slot += v;
             }
         }
-        out
+        Tensor::from_raw(data, Shape::new(&[c]))
     }
 
     /// Mean over axis 0 of a matrix, shape `[cols]`.
@@ -374,7 +462,7 @@ impl Tensor {
         let mut out = Tensor::zeros([m, n]);
         let grain_rows = (MATMUL_GRAIN_OPS / (k * n).max(1)).max(1);
         par::for_each_row(
-            &mut out.data,
+            out.data.make_mut(),
             m,
             n,
             grain_rows,
@@ -403,7 +491,7 @@ impl Tensor {
         let mut out = Tensor::zeros([indices.len(), c]);
         let grain_rows = (ELEMENTWISE_GRAIN / c.max(1)).max(1);
         par::for_each_row(
-            &mut out.data,
+            out.data.make_mut(),
             indices.len(),
             c,
             grain_rows,
@@ -436,9 +524,10 @@ impl Tensor {
         }
         let mut out = Tensor::zeros([num_rows, c]);
         if r * c < 4 * ELEMENTWISE_GRAIN || num_rows < 2 {
+            let out_data = out.data.make_mut();
             for (i, &idx) in indices.iter().enumerate() {
                 for j in 0..c {
-                    out.data[idx * c + j] += self.data[i * c + j];
+                    out_data[idx * c + j] += self.data[i * c + j];
                 }
             }
             return out;
@@ -460,7 +549,7 @@ impl Tensor {
         }
         let grain_rows = ((4 * ELEMENTWISE_GRAIN) / c.max(1)).max(1);
         par::for_each_row(
-            &mut out.data,
+            out.data.make_mut(),
             num_rows,
             c,
             grain_rows,
@@ -481,25 +570,27 @@ impl Tensor {
         assert!(!parts.is_empty(), "vcat of zero tensors");
         let c = parts[0].ncols();
         let total: usize = parts.iter().map(|t| t.nrows()).sum();
-        let mut data = Vec::with_capacity(total * c);
+        let mut data = pool::take_raw(total * c);
+        let mut off = 0;
         for p in parts {
             assert_eq!(p.ncols(), c, "vcat column mismatch");
-            data.extend_from_slice(p.data());
+            data[off..off + p.numel()].copy_from_slice(p.data());
+            off += p.numel();
         }
-        Tensor::from_vec(data, [total, c])
+        Tensor::from_raw(data, Shape::new(&[total, c]))
     }
 
     /// Select a subset of columns of a matrix, in the given order.
     pub fn select_cols(&self, cols: &[usize]) -> Tensor {
         let (r, c) = self.shape.as_matrix();
-        let mut out = Tensor::zeros([r, cols.len()]);
+        let mut data = pool::take_raw(r * cols.len());
         for i in 0..r {
             for (k, &j) in cols.iter().enumerate() {
                 assert!(j < c, "column {j} out of range {c}");
-                out.data[i * cols.len() + k] = self.data[i * c + j];
+                data[i * cols.len() + k] = self.data[i * c + j];
             }
         }
-        out
+        Tensor::from_raw(data, Shape::new(&[r, cols.len()]))
     }
 
     /// Extract a column of a matrix as a `[rows]` vector.
@@ -530,7 +621,7 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor({}, ", self.shape)?;
         if self.numel() <= 16 {
-            write!(f, "{:?})", self.data)
+            write!(f, "{:?})", self.data())
         } else {
             write!(f, "[{} elements])", self.numel())
         }

@@ -4,6 +4,21 @@
 
 use std::fmt;
 
+/// Well-known structured-event names shared by producers across the
+/// workspace and by downstream consumers (sweep binaries, analysis
+/// scripts), so both sides agree on spelling.
+pub mod names {
+    /// Per-epoch training metrics: loss, HSIC, grad norm, weight stats.
+    pub const EPOCH: &str = "epoch";
+    /// End-of-run tensor op-profile summary (per-op counts, peak bytes).
+    pub const TENSOR_PROFILE: &str = "tensor_profile";
+    /// Per-kernel parallel region timings from the deterministic pool.
+    pub const TENSOR_PARALLEL: &str = "tensor_parallel";
+    /// Buffer-pool memory-engine counters: hits, misses, fresh
+    /// allocations, bytes served from recycled buffers.
+    pub const TENSOR_MEMORY: &str = "tensor_memory";
+}
+
 /// A telemetry field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {

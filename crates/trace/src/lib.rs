@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
-pub use event::{Event, EventKind, Value};
+pub use event::{names, Event, EventKind, Value};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
 
 use std::sync::atomic::{AtomicBool, Ordering};

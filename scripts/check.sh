@@ -21,17 +21,23 @@ else
     echo "== cargo clippy not installed; skipping"
 fi
 
-echo "== cargo test (OOD_THREADS=1)"
-OOD_THREADS=1 cargo test --workspace --quiet || status=1
+echo "== cargo test (OOD_THREADS=1, pool on)"
+OOD_THREADS=1 OOD_POOL=1 cargo test --workspace --quiet || status=1
 
-echo "== cargo test (OOD_THREADS=4)"
-OOD_THREADS=4 cargo test --workspace --quiet || status=1
+echo "== cargo test (OOD_THREADS=4, pool on)"
+OOD_THREADS=4 OOD_POOL=1 cargo test --workspace --quiet || status=1
+
+echo "== cargo test (OOD_THREADS=4, pool off)"
+OOD_THREADS=4 OOD_POOL=0 cargo test --workspace --quiet || status=1
 
 echo "== fault drill (kill+resume, NaN batches, inner spikes)"
 cargo run -p bench --release --bin fault_drill >/dev/null || status=1
 
 echo "== threads sweep smoke (bitwise determinism across thread counts)"
 OOD_BENCH_FAST=1 cargo run -p bench --release --bin threads_sweep >/dev/null || status=1
+
+echo "== memory sweep smoke (pool neutrality + allocation reduction)"
+OOD_BENCH_FAST=1 cargo run -p bench --release --bin mem_sweep >/dev/null || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "check.sh: FAILED" >&2
