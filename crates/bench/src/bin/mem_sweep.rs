@@ -16,7 +16,10 @@
 //!   unpooled runs at the same thread count.
 //!
 //! Markdown goes to stdout (redirect into `results/mem_sweep.md`);
-//! progress and telemetry to stderr/JSONL as usual.
+//! progress and telemetry to stderr/JSONL as usual. A machine-readable
+//! record of the same numbers is written to `results/mem_sweep.json`
+//! (override with `--json <path>`, disable with `--json -`) in the shared
+//! `bench::perf::MetricFile` format.
 
 use datasets::triangles::{generate, TrianglesConfig};
 use datasets::OodBenchmark;
@@ -83,6 +86,7 @@ struct ConfigResult {
 
 fn main() {
     let strict = std::env::args().any(|a| a == "--strict");
+    let json_out = bench::Args::from_env().get_str("json", "results/mem_sweep.json");
     let fast = std::env::var("OOD_BENCH_FAST").is_ok_and(|v| v != "0");
     let jsonl = bench::telemetry::init("mem_sweep", SEED);
 
@@ -235,6 +239,35 @@ fn main() {
         for f in &failures {
             println!("GATE FAIL: {f}");
             eprintln!("mem_sweep: GATE FAIL: {f}");
+        }
+    }
+
+    // Machine-readable record in the shared perf format: one metric set
+    // per swept configuration, checksum and verdict in meta.
+    if json_out != "-" {
+        let mut record = bench::MetricFile::new("mem_sweep");
+        record.set_meta("checksum", format!("{reference:#018x}"));
+        record.set_meta("fast", fast.to_string());
+        record.set_meta("verdict", if failures.is_empty() { "pass" } else { "fail" });
+        for r in &results {
+            let key = format!(
+                "t{}_{}",
+                r.threads,
+                if r.pooled { "pool_on" } else { "pool_off" }
+            );
+            record.set(&format!("{key}_wall_ms"), r.wall_ms);
+            record.set(&format!("{key}_allocations"), r.stats.allocations as f64);
+            record.set(&format!("{key}_hits"), r.stats.hits as f64);
+            record.set(&format!("{key}_misses"), r.stats.misses as f64);
+            record.set(&format!("{key}_bytes_reused"), r.stats.bytes_reused as f64);
+            record.set(
+                &format!("{key}_peak_retained_bytes"),
+                r.stats.peak_retained_bytes as f64,
+            );
+        }
+        match record.save(&json_out) {
+            Ok(()) => eprintln!("mem_sweep: wrote {json_out}"),
+            Err(e) => eprintln!("mem_sweep: cannot write {json_out}: {e}"),
         }
     }
 

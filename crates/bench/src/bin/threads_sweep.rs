@@ -9,7 +9,10 @@
 //! reaches a 2x speedup at 4 threads.)
 //!
 //! Markdown goes to stdout (redirect into `results/threads_sweep.md`);
-//! progress and telemetry to stderr/JSONL as usual.
+//! progress and telemetry to stderr/JSONL as usual. A machine-readable
+//! record of the same numbers is written to `results/threads_sweep.json`
+//! (override with `--json <path>`, disable with `--json -`) in the shared
+//! `bench::perf::MetricFile` format.
 
 use bench::{fmt_ns, Harness};
 use oodgnn_core::{decorrelation_loss, linear_loss_reference, DecorrelationKind};
@@ -97,6 +100,7 @@ fn main() {
     // back it: on smaller hosts extra threads merely timeshare and the
     // sweep degenerates into an overhead measurement.
     let strict = std::env::args().any(|a| a == "--strict") && hardware >= 4;
+    let json_out = bench::Args::from_env().get_str("json", "results/threads_sweep.json");
     let jsonl = bench::telemetry::init("threads_sweep", 0);
 
     let mut threads: Vec<usize> = vec![1, 2, 4]
@@ -132,6 +136,8 @@ fn main() {
     println!("|---|{}---|", "---|".repeat(threads.len()));
 
     let mut strict_ok = true;
+    let mut record = bench::MetricFile::new("threads_sweep");
+    record.set_meta("hardware_cores", hardware.to_string());
     for case in cases() {
         let Case { name, mut run } = case;
         let mut medians = Vec::with_capacity(threads.len());
@@ -152,6 +158,17 @@ fn main() {
             medians.push(h.median_ns(name).expect("bench just ran"));
         }
         let base = medians[0];
+        for (&t, &m) in threads.iter().zip(medians.iter()) {
+            record.set(&format!("{name}_t{t}_ns"), m);
+        }
+        record.set(
+            &format!("{name}_speedup_max"),
+            base / medians[medians.len() - 1],
+        );
+        record.set_meta(
+            &format!("{name}_checksum"),
+            format!("{:#010x}", checksum.unwrap_or(0)),
+        );
         let cells = medians
             .iter()
             .map(|&m| format!("{} ({:.2}x)", fmt_ns(m), base / m))
@@ -175,6 +192,13 @@ fn main() {
     par::set_threads(par::max_threads());
 
     println!("\nAll checksums bitwise-identical across thread counts.");
+    if json_out != "-" {
+        record.set_meta("verdict", if strict_ok { "pass" } else { "fail" });
+        match record.save(&json_out) {
+            Ok(()) => eprintln!("threads_sweep: wrote {json_out}"),
+            Err(e) => eprintln!("threads_sweep: cannot write {json_out}: {e}"),
+        }
+    }
     bench::telemetry::finish(&jsonl);
     if !strict_ok {
         std::process::exit(1);

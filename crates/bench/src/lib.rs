@@ -8,9 +8,11 @@
 
 pub mod args;
 pub mod harness;
+pub mod perf;
 pub mod runner;
 pub mod telemetry;
 
 pub use args::Args;
 pub use harness::{black_box, fmt_ns, Harness};
+pub use perf::MetricFile;
 pub use runner::{fmt_cell, run_method, MethodSpec, RunOutcome, SuiteConfig};

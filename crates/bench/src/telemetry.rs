@@ -9,8 +9,13 @@
 //! `OOD_TELEMETRY_DIR=<dir>` to redirect the JSONL output.
 
 use std::path::PathBuf;
-use std::time::{SystemTime, UNIX_EPOCH};
-use trace::{ConsoleSink, JsonlSink};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use trace::{ConsoleSink, JsonlSink, RunManifest};
+
+/// Wall clock of the current run, set by [`init`] and read by [`finish`]
+/// for the `run_summary` event.
+static RUN_START: Mutex<Option<Instant>> = Mutex::new(None);
 
 /// Default directory for JSONL telemetry files, relative to the CWD.
 pub const TELEMETRY_DIR: &str = "results/telemetry";
@@ -24,6 +29,10 @@ pub fn init(bin: &str, seed: u64) -> Option<PathBuf> {
     if std::env::var("OOD_TELEMETRY").is_ok_and(|v| v == "0") {
         return None;
     }
+    // Resolve the git revision before the run clocks start: the first call
+    // spawns a subprocess (milliseconds) that would otherwise show up as
+    // unattributed wall time in every trace.
+    let _ = trace::manifest::git_describe();
     let secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -45,15 +54,47 @@ pub fn init(bin: &str, seed: u64) -> Option<PathBuf> {
         }
     };
     trace::set_run(&run_id, seed);
+    *RUN_START.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
     // Record the parallel execution layer's thread count with the run.
     trace::metrics::gauge_set("tensor/threads", tensor::par::current_threads() as f64);
+    // Stamp the run manifest first thing, so every trace opens with the
+    // reproduction context (binary, seed, threads, pool, git revision).
+    RunManifest::new(bin)
+        .seed(seed)
+        .threads(tensor::par::current_threads())
+        .pool(tensor::pool::enabled())
+        .emit();
     jsonl
 }
 
-/// Flush metrics and sinks, emit the tensor-op profile summary, and print
-/// where the JSONL stream went. Call once at the end of `main`.
+/// Flush metrics and sinks, emit the tensor-op profile summary and the
+/// `run_summary` record (wall time, peak memory high-water marks), and
+/// print where the JSONL stream went. Call once at the end of `main`.
 pub fn finish(jsonl: &Option<PathBuf>) {
     emit_tensor_profile();
+    if trace::enabled() {
+        let wall_ms = RUN_START
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|t0| t0.elapsed().as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        let snap = tensor::profile::snapshot();
+        trace::metrics::gauge_set(
+            "tensor/pool_peak_retained_bytes",
+            snap.pool.peak_retained_bytes as f64,
+        );
+        trace::emit_event(
+            trace::names::RUN_SUMMARY,
+            &[
+                ("wall_ms", wall_ms.into()),
+                ("peak_live_bytes", (snap.peak_live_bytes as i64).into()),
+                (
+                    "peak_retained_bytes",
+                    (snap.pool.peak_retained_bytes as i64).into(),
+                ),
+            ],
+        );
+    }
     trace::metrics::flush();
     trace::detach_all();
     if let Some(path) = jsonl {
@@ -126,6 +167,10 @@ pub fn emit_tensor_profile() {
             ("evictions", (pool.evictions as i64).into()),
             ("bytes_reused", (pool.bytes_reused as i64).into()),
             ("retained_bytes", (pool.retained_bytes as i64).into()),
+            (
+                "peak_retained_bytes",
+                (pool.peak_retained_bytes as i64).into(),
+            ),
         ],
     );
 }

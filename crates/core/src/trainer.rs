@@ -436,6 +436,21 @@ impl OodGnn {
     ) -> Result<OodGnnReport, OodGnnError> {
         let ds = &bench.dataset;
         let cfg_train = self.config.train.clone();
+        // Stamp the run manifest before any work: the analysis tier keys
+        // every report and baseline comparison off this record.
+        if trace::enabled() {
+            trace::RunManifest::new("train_run")
+                .seed(seed)
+                .threads(tensor::par::current_threads())
+                .pool(tensor::pool::enabled())
+                .dataset(ds.name())
+                .backbone(format!("{:?}", self.config.encoder))
+                .epochs(self.config.train.epochs)
+                .with("batch_size", cfg_train.batch_size)
+                .with("epoch_reweight", self.config.epoch_reweight)
+                .with("train_graphs", bench.split.train.len())
+                .emit();
+        }
         let mut rng = Rng::seed_from(seed);
         let mut opt = Adam::new(cfg_train.lr)
             .with_weight_decay(cfg_train.weight_decay)

@@ -54,6 +54,7 @@ static RETURNS: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static BYTES_REUSED: AtomicU64 = AtomicU64::new(0);
 static RETAINED_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_RETAINED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time copy of the pool counters (process-wide, summed over all
 /// thread-local pools).
@@ -78,6 +79,10 @@ pub struct PoolStats {
     pub bytes_reused: u64,
     /// Bytes currently parked in the pool awaiting reuse.
     pub retained_bytes: u64,
+    /// High-water mark of [`PoolStats::retained_bytes`]: the most memory
+    /// the pool ever held at once (the run-manifest "peak pool bytes"
+    /// gauge). Reset by [`reset_stats`] to the current retained level.
+    pub peak_retained_bytes: u64,
 }
 
 /// Snapshot the pool counters.
@@ -91,6 +96,7 @@ pub fn stats() -> PoolStats {
         evictions: EVICTIONS.load(Ordering::Relaxed),
         bytes_reused: BYTES_REUSED.load(Ordering::Relaxed),
         retained_bytes: RETAINED_BYTES.load(Ordering::Relaxed),
+        peak_retained_bytes: PEAK_RETAINED_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -103,6 +109,8 @@ pub fn reset_stats() {
     RETURNS.store(0, Ordering::Relaxed);
     EVICTIONS.store(0, Ordering::Relaxed);
     BYTES_REUSED.store(0, Ordering::Relaxed);
+    // The high-water restarts from whatever the pool currently holds.
+    PEAK_RETAINED_BYTES.store(RETAINED_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 // ------------------------------------------------------------- enable flag
@@ -269,7 +277,8 @@ pub(crate) fn give(v: Vec<f32>) {
         .unwrap_or(false);
     if accepted {
         RETURNS.fetch_add(1, Ordering::Relaxed);
-        RETAINED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        let now = RETAINED_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK_RETAINED_BYTES.fetch_max(now, Ordering::Relaxed);
     } else {
         EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
@@ -355,6 +364,21 @@ mod tests {
         give(v);
         let retained = POOL.with(|p| p.borrow().retained_bytes);
         assert_eq!(retained, 0);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn peak_retained_bytes_is_a_high_water_mark() {
+        let was = set_enabled(true);
+        drain_thread_pool();
+        let v = take_raw(4096);
+        give(v);
+        let after_give = stats();
+        assert!(after_give.peak_retained_bytes >= 4096 * 4);
+        // Taking the buffer back lowers retained bytes but never the peak.
+        let _v = take_raw(4096);
+        let after_take = stats();
+        assert!(after_take.peak_retained_bytes >= after_give.peak_retained_bytes);
         set_enabled(was);
     }
 

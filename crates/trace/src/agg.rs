@@ -1,0 +1,464 @@
+//! Trace analysis: replay a recorded event stream (JSONL file or
+//! in-memory) into a hierarchical span tree with self-time vs child-time
+//! attribution, per-kernel time/allocation tables, and folded-stack
+//! flamegraph output.
+//!
+//! Span events are emitted at close carrying their full slash-joined path
+//! (`"train/epoch/batch"`), so the tree is reconstructed purely from
+//! paths: every unique path becomes one node aggregating the count and
+//! total duration of all spans closed at that path. *Self time* is a
+//! node's total minus the totals of its direct children — the time spent
+//! in that span's own code rather than in instrumented callees. Summed
+//! over the whole tree, self times reproduce the root totals exactly,
+//! which is what lets `trace_report` check attribution coverage against
+//! measured wall time.
+
+use crate::event::{names, Event, EventKind};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One aggregated node of the span tree: every span closed at this path.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Full slash-joined path (`"train/epoch/batch"`).
+    pub path: String,
+    /// Number of spans closed at this path.
+    pub count: u64,
+    /// Summed duration of those spans, microseconds.
+    pub total_us: i64,
+    /// Direct children, in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Last path segment (`"batch"` for `"train/epoch/batch"`).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Total minus direct children's totals, clamped at zero (clock
+    /// granularity can make an instant child appear longer than its
+    /// parent's remainder).
+    pub fn self_us(&self) -> i64 {
+        let child_us: i64 = self.children.iter().map(|c| c.total_us).sum();
+        (self.total_us - child_us).max(0)
+    }
+
+    fn walk<'a>(&'a self, out: &mut Vec<&'a SpanNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.walk(out);
+        }
+    }
+}
+
+/// One row of the flattened self-time attribution table.
+#[derive(Debug, Clone)]
+pub struct AttributionRow {
+    /// Full span path.
+    pub path: String,
+    /// Spans closed at this path.
+    pub count: u64,
+    /// Total time including children, microseconds.
+    pub total_us: i64,
+    /// Self time (total minus direct children), microseconds.
+    pub self_us: i64,
+}
+
+/// One kernel family row joined from the `tensor_parallel` and profile
+/// counters recorded in the trace.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel family name (`"matmul"`, `"elementwise"`, …).
+    pub name: String,
+    /// Parallel regions that fanned out to the pool.
+    pub regions: i64,
+    /// Chunks dispatched across those regions.
+    pub chunks: i64,
+    /// Wall-clock milliseconds inside parallel regions.
+    pub ms: f64,
+}
+
+/// Everything [`analyze`] extracts from one run's event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Total events replayed.
+    pub events: usize,
+    /// The first `run_manifest` event, if the run emitted one.
+    pub manifest: Option<Event>,
+    /// The `run_summary` event, if the run emitted one.
+    pub summary: Option<Event>,
+    /// Root span nodes (paths with no recorded parent), first-seen order.
+    pub roots: Vec<SpanNode>,
+    /// Final value of every counter (counters are cumulative; the last
+    /// flush wins).
+    pub counters: BTreeMap<String, i64>,
+    /// Final value of every gauge.
+    pub gauges: BTreeMap<String, f64>,
+    /// Last flushed window of every histogram, as the raw `hist` event.
+    pub histograms: BTreeMap<String, Event>,
+    /// Per-kernel parallel timings from the last `tensor_parallel` event.
+    pub kernels: Vec<KernelRow>,
+    /// The last `tensor_memory` event (end-of-run totals).
+    pub memory: Option<Event>,
+    /// Largest `ts_us` stamp seen: wall clock covered by the stream.
+    pub last_ts_us: i64,
+}
+
+impl TraceAnalysis {
+    /// Flattened attribution rows over every tree node, sorted by self
+    /// time, largest first.
+    pub fn attribution(&self) -> Vec<AttributionRow> {
+        let mut nodes = Vec::new();
+        for r in &self.roots {
+            r.walk(&mut nodes);
+        }
+        let mut rows: Vec<AttributionRow> = nodes
+            .into_iter()
+            .map(|n| AttributionRow {
+                path: n.path.clone(),
+                count: n.count,
+                total_us: n.total_us,
+                self_us: n.self_us(),
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.self_us));
+        rows
+    }
+
+    /// Sum of root span totals: all attributed time, microseconds.
+    /// (Identical to summing self time over every node.)
+    pub fn attributed_us(&self) -> i64 {
+        self.roots.iter().map(|r| r.total_us).sum()
+    }
+
+    /// Wall time of the run in microseconds: the `run_summary` wall clock
+    /// when present, the last event timestamp otherwise.
+    pub fn wall_us(&self) -> i64 {
+        self.summary
+            .as_ref()
+            .and_then(|e| e.field("wall_ms"))
+            .and_then(|v| v.as_f64())
+            .map(|ms| (ms * 1e3) as i64)
+            .unwrap_or(self.last_ts_us)
+    }
+
+    /// Attributed time as a fraction of wall time (0 when wall is unknown).
+    pub fn coverage(&self) -> f64 {
+        let wall = self.wall_us();
+        if wall <= 0 {
+            return 0.0;
+        }
+        self.attributed_us() as f64 / wall as f64
+    }
+
+    /// Look up an aggregated node by full path.
+    pub fn find(&self, path: &str) -> Option<&SpanNode> {
+        fn rec<'a>(nodes: &'a [SpanNode], path: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.path == path {
+                    return Some(n);
+                }
+                if path.starts_with(n.path.as_str())
+                    && path.as_bytes().get(n.path.len()) == Some(&b'/')
+                {
+                    return rec(&n.children, path);
+                }
+            }
+            None
+        }
+        rec(&self.roots, path)
+    }
+
+    /// Folded-stack flamegraph lines (`a;b;c <self_us>`), one per tree
+    /// node with nonzero self time — the input format of
+    /// `flamegraph.pl` / speedscope.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        let mut nodes = Vec::new();
+        for r in &self.roots {
+            r.walk(&mut nodes);
+        }
+        for n in nodes {
+            let self_us = n.self_us();
+            if self_us > 0 {
+                out.push_str(&n.path.replace('/', ";"));
+                out.push(' ');
+                out.push_str(&self_us.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Read every event of a JSONL trace file (alias of
+/// [`crate::sink::read_jsonl`], re-exported here so consumers depend on
+/// one module for the whole read-and-analyze path).
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
+    crate::sink::read_jsonl(path)
+}
+
+/// Replay an event stream into a [`TraceAnalysis`].
+pub fn analyze(events: &[Event]) -> TraceAnalysis {
+    let mut a = TraceAnalysis {
+        events: events.len(),
+        ..Default::default()
+    };
+    // Aggregate spans by path, remembering first-seen order so the tree
+    // reads in execution order.
+    let mut span_totals: BTreeMap<String, (u64, i64)> = BTreeMap::new();
+    let mut span_order: Vec<String> = Vec::new();
+    for e in events {
+        if let Some(ts) = e.field("ts_us").and_then(|v| v.as_i64()) {
+            a.last_ts_us = a.last_ts_us.max(ts);
+        }
+        match e.kind {
+            EventKind::Span => {
+                let dur = e.field("dur_us").and_then(|v| v.as_i64()).unwrap_or(0);
+                let entry = span_totals.entry(e.name.clone()).or_insert_with(|| {
+                    span_order.push(e.name.clone());
+                    (0, 0)
+                });
+                entry.0 += 1;
+                entry.1 += dur;
+            }
+            EventKind::Counter => {
+                if let Some(v) = e.field("value").and_then(|v| v.as_i64()) {
+                    a.counters.insert(e.name.clone(), v);
+                }
+            }
+            EventKind::Gauge => {
+                if let Some(v) = e.field("value").and_then(|v| v.as_f64()) {
+                    a.gauges.insert(e.name.clone(), v);
+                }
+            }
+            EventKind::Hist => {
+                a.histograms.insert(e.name.clone(), e.clone());
+            }
+            EventKind::Event => match e.name.as_str() {
+                names::RUN_MANIFEST if a.manifest.is_none() => {
+                    a.manifest = Some(e.clone());
+                }
+                names::RUN_SUMMARY => a.summary = Some(e.clone()),
+                names::TENSOR_PARALLEL => a.kernels = parse_kernels(e),
+                names::TENSOR_MEMORY => a.memory = Some(e.clone()),
+                _ => {}
+            },
+        }
+    }
+    a.roots = build_tree(&span_order, &span_totals);
+    a
+}
+
+/// Turn `{kernel}_regions` / `{kernel}_chunks` / `{kernel}_ms` fields of a
+/// `tensor_parallel` event back into per-kernel rows.
+fn parse_kernels(e: &Event) -> Vec<KernelRow> {
+    let mut rows: BTreeMap<String, KernelRow> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (k, v) in &e.fields {
+        let (name, slot) = if let Some(n) = k.strip_suffix("_regions") {
+            (n, 0)
+        } else if let Some(n) = k.strip_suffix("_chunks") {
+            (n, 1)
+        } else if let Some(n) = k.strip_suffix("_ms") {
+            (n, 2)
+        } else {
+            continue;
+        };
+        let row = rows.entry(name.to_string()).or_insert_with(|| {
+            order.push(name.to_string());
+            KernelRow {
+                name: name.to_string(),
+                regions: 0,
+                chunks: 0,
+                ms: 0.0,
+            }
+        });
+        match slot {
+            0 => row.regions = v.as_i64().unwrap_or(0),
+            1 => row.chunks = v.as_i64().unwrap_or(0),
+            _ => row.ms = v.as_f64().unwrap_or(0.0),
+        }
+    }
+    order.into_iter().filter_map(|n| rows.remove(&n)).collect()
+}
+
+/// Assemble aggregated `(path, count, total)` records into a forest. A
+/// path's parent is its longest recorded proper prefix ending at a slash;
+/// paths with no recorded ancestor become roots (spans opened before any
+/// enclosing span attached, or on other threads). Spans close
+/// children-first, so parentage cannot depend on stream order — it is
+/// resolved against the full path set.
+fn build_tree(order: &[String], totals: &BTreeMap<String, (u64, i64)>) -> Vec<SpanNode> {
+    // Longest recorded proper prefix of `path` (at a slash boundary).
+    fn parent_of<'a>(path: &'a str, totals: &BTreeMap<String, (u64, i64)>) -> Option<&'a str> {
+        let mut end = path.rfind('/');
+        while let Some(i) = end {
+            let prefix = &path[..i];
+            if totals.contains_key(prefix) {
+                return Some(prefix);
+            }
+            end = prefix.rfind('/');
+        }
+        None
+    }
+    let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut roots: Vec<&str> = Vec::new();
+    for path in order {
+        match parent_of(path, totals) {
+            Some(parent) => children.entry(parent).or_default().push(path),
+            None => roots.push(path),
+        }
+    }
+    fn build(
+        path: &str,
+        totals: &BTreeMap<String, (u64, i64)>,
+        children: &BTreeMap<&str, Vec<&str>>,
+    ) -> SpanNode {
+        let (count, total_us) = totals[path];
+        SpanNode {
+            path: path.to_string(),
+            count,
+            total_us,
+            children: children
+                .get(path)
+                .map(|kids| kids.iter().map(|k| build(k, totals, children)).collect())
+                .unwrap_or_default(),
+        }
+    }
+    roots.iter().map(|r| build(r, totals, &children)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn span(path: &str, dur_us: i64) -> Event {
+        Event::new(EventKind::Span, path)
+            .with("dur_us", dur_us)
+            .with("depth", path.split('/').count())
+    }
+
+    #[test]
+    fn tree_attributes_self_vs_child_time() {
+        let events = vec![
+            span("train/epoch/batch", 30),
+            span("train/epoch/batch", 50),
+            span("train/epoch", 100),
+            span("train", 120),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.roots.len(), 1);
+        let train = &a.roots[0];
+        assert_eq!(train.path, "train");
+        assert_eq!(train.total_us, 120);
+        assert_eq!(train.self_us(), 20); // 120 - 100
+        let epoch = a.find("train/epoch").unwrap();
+        assert_eq!(epoch.total_us, 100);
+        assert_eq!(epoch.self_us(), 20); // 100 - (30 + 50)
+        let batch = a.find("train/epoch/batch").unwrap();
+        assert_eq!(batch.count, 2);
+        assert_eq!(batch.self_us(), 80);
+        // Self times over the tree reproduce the root total exactly.
+        let self_sum: i64 = a.attribution().iter().map(|r| r.self_us).sum();
+        assert_eq!(self_sum, a.attributed_us());
+        assert_eq!(self_sum, 120);
+    }
+
+    #[test]
+    fn attribution_sorts_by_self_time() {
+        let events = vec![span("a/b", 90), span("a", 100)];
+        let rows = analyze(&events).attribution();
+        assert_eq!(rows[0].path, "a/b");
+        assert_eq!(rows[0].self_us, 90);
+        assert_eq!(rows[1].self_us, 10);
+    }
+
+    #[test]
+    fn orphan_paths_become_roots() {
+        // "epoch" closes on a thread where no "train" span was recorded.
+        let events = vec![span("epoch", 10), span("other", 5)];
+        let a = analyze(&events);
+        assert_eq!(a.roots.len(), 2);
+        assert_eq!(a.attributed_us(), 15);
+    }
+
+    #[test]
+    fn sibling_prefix_is_not_a_parent() {
+        // "trainer" must not nest under "train" (prefix but no slash).
+        let events = vec![span("train", 10), span("trainer", 20)];
+        let a = analyze(&events);
+        assert_eq!(a.roots.len(), 2);
+    }
+
+    #[test]
+    fn folded_output_matches_self_times() {
+        let events = vec![span("train/epoch", 70), span("train", 100)];
+        let folded = analyze(&events).folded();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["train 30", "train;epoch 70"]);
+    }
+
+    #[test]
+    fn negative_self_time_clamps_to_zero() {
+        // Child longer than parent (clock granularity artifact).
+        let events = vec![span("a/b", 120), span("a", 100)];
+        let a = analyze(&events);
+        assert_eq!(a.roots[0].self_us(), 0);
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_keep_last_values() {
+        let events = vec![
+            Event::new(EventKind::Counter, "ops").with("value", 5i64),
+            Event::new(EventKind::Counter, "ops").with("value", 9i64),
+            Event::new(EventKind::Gauge, "lr").with("value", 0.1f64),
+            Event::new(EventKind::Hist, "lat")
+                .with("count", 2i64)
+                .with("p50", 10.0f64),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.counters["ops"], 9);
+        assert_eq!(a.gauges["lr"], 0.1);
+        assert_eq!(
+            a.histograms["lat"].field("p50").unwrap().as_f64(),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn kernel_rows_join_regions_chunks_ms() {
+        let e = Event::new(EventKind::Event, names::TENSOR_PARALLEL)
+            .with("threads", 4i64)
+            .with("matmul_regions", 7i64)
+            .with("matmul_chunks", 28i64)
+            .with("matmul_ms", 1.5f64)
+            .with("reduce_regions", 2i64)
+            .with("reduce_chunks", 8i64)
+            .with("reduce_ms", 0.25f64);
+        let a = analyze(&[e]);
+        assert_eq!(a.kernels.len(), 2);
+        assert_eq!(a.kernels[0].name, "matmul");
+        assert_eq!(a.kernels[0].regions, 7);
+        assert_eq!(a.kernels[0].chunks, 28);
+        assert!((a.kernels[0].ms - 1.5).abs() < 1e-12);
+        assert_eq!(a.kernels[1].name, "reduce");
+    }
+
+    #[test]
+    fn wall_prefers_run_summary_over_timestamps() {
+        let events = vec![
+            span("run", 900_000).with("ts_us", 950_000i64),
+            Event::new(EventKind::Event, names::RUN_SUMMARY).with("wall_ms", 1000.0f64),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.wall_us(), 1_000_000);
+        assert!((a.coverage() - 0.9).abs() < 1e-9);
+        // Without the summary, the last timestamp stands in.
+        let a2 = analyze(&events[..1]);
+        assert_eq!(a2.wall_us(), 950_000);
+    }
+}

@@ -17,6 +17,13 @@ pub mod names {
     /// Buffer-pool memory-engine counters: hits, misses, fresh
     /// allocations, bytes served from recycled buffers.
     pub const TENSOR_MEMORY: &str = "tensor_memory";
+    /// Start-of-run manifest: schema version, seed, threads/pool config,
+    /// dataset, backbone, git revision (see [`crate::manifest`]).
+    pub const RUN_MANIFEST: &str = "run_manifest";
+    /// End-of-run summary: wall time and peak memory high-water marks.
+    pub const RUN_SUMMARY: &str = "run_summary";
+    /// Perf-gate verdict: pass/fail, wall time, attribution coverage.
+    pub const PERF_GATE: &str = "perf_gate";
 }
 
 /// A telemetry field value.

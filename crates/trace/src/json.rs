@@ -39,9 +39,14 @@ pub fn write_value(out: &mut String, v: &Value) {
     }
 }
 
-/// Shortest `f64` formatting that round-trips through `parse`.
+/// Shortest `f64` formatting that round-trips through `parse` *as a
+/// float*: integral values keep a `.0` suffix so the reader does not
+/// reinterpret them as `Value::Int`.
 fn format_f64(f: f64) -> String {
-    let s = format!("{f}");
+    let mut s = format!("{f}");
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
     // `{}` on f64 always round-trips in Rust; ensure it parses as a JSON
     // number (it never produces inf/nan here because f is finite).
     debug_assert!(s.parse::<f64>().is_ok());
@@ -252,5 +257,14 @@ mod tests {
             write_value(&mut s, &Value::Float(f));
             assert_eq!(s.parse::<f64>().unwrap(), f);
         }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let mut s = String::new();
+        write_value(&mut s, &Value::Float(4.0));
+        assert_eq!(s, "4.0");
+        let pairs = parse_object(r#"{"g": 4.0}"#).unwrap();
+        assert_eq!(pairs[0].1, Value::Float(4.0));
     }
 }

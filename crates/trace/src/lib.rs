@@ -30,13 +30,16 @@
 //! assert_eq!(sink.events().len(), 2); // span close + histogram flush
 //! ```
 
+pub mod agg;
 pub mod event;
 pub mod json;
+pub mod manifest;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
 pub use event::{names, Event, EventKind, Value};
+pub use manifest::RunManifest;
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -17,9 +17,13 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Record one observation. Non-finite values are dropped: a single
+    /// NaN would make the sort order (and thus every quantile) undefined,
+    /// and the JSONL encoding maps them to `null` anyway.
     pub fn observe(&mut self, v: f64) {
-        self.samples.push(v);
+        if v.is_finite() {
+            self.samples.push(v);
+        }
     }
 
     /// Number of recorded samples.
@@ -34,7 +38,7 @@ impl Histogram {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         Some(quantile_sorted(&sorted, q))
     }
 
@@ -44,7 +48,7 @@ impl Histogram {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         Some(HistSummary {
@@ -221,8 +225,68 @@ mod tests {
         assert!(h.summary().is_none());
         let mut h = Histogram::default();
         h.observe(7.25);
-        assert_eq!(h.quantile(0.99).unwrap(), 7.25);
-        assert_eq!(h.summary().unwrap().p50, 7.25);
+        // Every quantile of a single sample is that sample.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q).unwrap(), 7.25);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!((s.count, s.min, s.max), (1, 7.25, 7.25));
+        assert_eq!((s.mean, s.p50, s.p95, s.p99), (7.25, 7.25, 7.25, 7.25));
+    }
+
+    #[test]
+    fn duplicate_heavy_windows_interpolate_cleanly() {
+        // 99 zeros and a single 1: quantiles below the tail stay exactly
+        // 0, the p99 interpolates on the last gap.
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(0.0);
+        }
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5).unwrap(), 0.0);
+        assert_eq!(h.quantile(0.95).unwrap(), 0.0);
+        // pos = 0.99 * 99 = 98.01 -> between samples 98 (0.0) and 99 (1.0).
+        assert!((h.quantile(0.99).unwrap() - 0.01).abs() < 1e-12);
+        assert_eq!(h.quantile(1.0).unwrap(), 1.0);
+        // All-identical samples: every statistic is that value.
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(3.5);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(
+            (s.min, s.max, s.p50, s.p95, s.p99),
+            (3.5, 3.5, 3.5, 3.5, 3.5)
+        );
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert!(h.summary().is_none());
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        h.observe(4.0);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!((s.min, s.max), (2.0, 4.0));
+        assert_eq!(s.p50, 3.0);
+        assert!(s.mean.is_finite());
+    }
+
+    #[test]
+    fn quantile_arguments_clamp_to_unit_interval() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(-0.5).unwrap(), 1.0);
+        assert_eq!(h.quantile(1.5).unwrap(), 3.0);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Tracing-overhead guard: while no sink is attached, the span/metric hot
+//! path must stay allocation-free and near-free in time. The whole
+//! workspace leans on this — instrumentation is left compiled into every
+//! hot loop on the promise that a detached tracer costs one relaxed
+//! atomic load per call.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// System allocator wrapper counting every allocation in the process.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Serializes the tests in this file: both depend on the process-global
+/// detached state and the global allocation counter.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// One round of the instrumented hot path, detached: spans, counters,
+/// gauges, histograms and a structured event per iteration.
+fn hot_path_round(iters: u64) {
+    for i in 0..iters {
+        let _span = ood_trace::span!("hot/loop");
+        ood_trace::metrics::counter_add("hot/ops", 1);
+        ood_trace::metrics::gauge_set("hot/gauge", i as f64);
+        ood_trace::metrics::observe("hot/latency", i as f64);
+        ood_trace::emit_event("hot_event", &[("i", ood_trace::Value::Int(i as i64))]);
+    }
+}
+
+#[test]
+fn detached_hot_path_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    ood_trace::detach_all();
+    // Warm up any lazy global state (mutex init, thread-local stacks).
+    hot_path_round(10);
+
+    // The counter is process-global, so another runtime thread could in
+    // principle allocate mid-window; take the best of several trials to
+    // keep the signal exact without being flaky.
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        hot_path_round(10_000);
+        let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        min_delta = min_delta.min(delta);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "detached span/metric/event hot path allocated {min_delta} times over 10k iterations"
+    );
+}
+
+#[test]
+fn detached_hot_path_costs_nanoseconds() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    ood_trace::detach_all();
+    hot_path_round(100); // warm up
+
+    // Baseline: the same loop shape with no instrumentation at all.
+    let iters = 200_000u64;
+    let t0 = std::time::Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(i);
+    }
+    let bare = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    hot_path_round(iters);
+    let traced = t0.elapsed();
+
+    // Five recording calls per iteration; a detached call is an atomic
+    // load and a branch, so even slow CI machines stay far under this.
+    let per_iter_ns = traced.saturating_sub(bare).as_nanos() as f64 / iters as f64;
+    assert!(
+        per_iter_ns < 1_000.0,
+        "detached instrumentation costs {per_iter_ns:.0} ns per iteration (bare {:?}, traced {:?})",
+        bare,
+        traced
+    );
+}

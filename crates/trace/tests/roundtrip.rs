@@ -1,0 +1,100 @@
+//! JSONL round-trip coverage: every event kind and every field value
+//! variant must survive serialize → file → parse unchanged through
+//! `trace::agg`'s reader. This is the contract the whole analysis tier
+//! (trace_report, perf_gate, trajectory tooling) rests on.
+
+use ood_trace::sink::JsonlSink;
+use ood_trace::{agg, Event, EventKind, Sink};
+
+/// One event per [`EventKind`] variant, with fields covering every
+/// [`Value`] variant, JSON escaping, and extreme numerics.
+fn all_variant_events() -> Vec<Event> {
+    vec![
+        Event::new(EventKind::Span, "train/epoch/batch")
+            .with("dur_us", 12_345i64)
+            .with("depth", 3usize),
+        Event::new(EventKind::Counter, "reweight/inner_iters").with("value", u64::MAX / 2),
+        Event::new(EventKind::Gauge, "tensor/threads").with("value", 4.0f64),
+        Event::new(EventKind::Hist, "reweight/final_dec_loss")
+            .with("count", 7usize)
+            .with("mean", 0.125f64)
+            .with("min", -1e-300f64)
+            .with("max", 1e300f64)
+            .with("p50", 0.1f64)
+            .with("p95", 0.2f64)
+            .with("p99", 0.25f64),
+        Event::new(EventKind::Event, "run_manifest")
+            .with("schema", 1i64)
+            .with("bin", "round \"trip\"\nwith\tescapes\u{1}")
+            .with("seed", i64::MAX)
+            .with("neg", i64::MIN)
+            .with("pool", true)
+            .with("resumed", false)
+            .with("frac", 0.02f32)
+            .with("unicode", "é λ 漢"),
+    ]
+}
+
+#[test]
+fn every_event_variant_round_trips_through_agg_reader() {
+    let dir = std::env::temp_dir().join(format!("trace-roundtrip-{}", std::process::id()));
+    let path = dir.join("trace.jsonl");
+    let events = all_variant_events();
+
+    // Write through the real sink (no global state needed: Sink::emit
+    // takes the event directly).
+    let mut sink = JsonlSink::create(&path).expect("create jsonl");
+    for e in &events {
+        sink.emit(e);
+    }
+    sink.flush();
+
+    let back = agg::read_trace(&path).expect("parse trace back");
+    assert_eq!(events, back, "events changed across the JSONL round trip");
+
+    // And the analysis layer consumes the stream without loss: the span
+    // lands in the tree, counter/gauge/hist keep their values, the
+    // manifest is surfaced.
+    let a = agg::analyze(&back);
+    assert_eq!(a.events, events.len());
+    let span = a.find("train/epoch/batch").expect("span in tree");
+    assert_eq!(span.total_us, 12_345);
+    assert_eq!(a.counters["reweight/inner_iters"], (u64::MAX / 2) as i64);
+    assert_eq!(a.gauges["tensor/threads"], 4.0);
+    assert_eq!(
+        a.histograms["reweight/final_dec_loss"]
+            .field("max")
+            .unwrap()
+            .as_f64(),
+        Some(1e300)
+    );
+    let manifest = a.manifest.expect("manifest surfaced");
+    assert_eq!(
+        manifest.field("bin").unwrap().as_str(),
+        Some("round \"trip\"\nwith\tescapes\u{1}")
+    );
+    assert_eq!(manifest.field("seed").unwrap().as_i64(), Some(i64::MAX));
+    assert_eq!(manifest.field("neg").unwrap().as_i64(), Some(i64::MIN));
+    assert_eq!(manifest.field("unicode").unwrap().as_str(), Some("é λ 漢"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_finite_floats_degrade_to_dropped_fields_not_errors() {
+    // JSON has no NaN/Inf: the writer emits null, the reader drops the
+    // field. The event still parses; only the poisoned field is lost.
+    let dir = std::env::temp_dir().join(format!("trace-roundtrip-nan-{}", std::process::id()));
+    let path = dir.join("trace.jsonl");
+    let e = Event::new(EventKind::Gauge, "g")
+        .with("value", f64::NAN)
+        .with("ok", 1.5f64);
+    let mut sink = JsonlSink::create(&path).expect("create jsonl");
+    sink.emit(&e);
+    sink.flush();
+    let back = agg::read_trace(&path).expect("parse");
+    assert_eq!(back.len(), 1);
+    assert!(back[0].field("value").is_none());
+    assert_eq!(back[0].field("ok").unwrap().as_f64(), Some(1.5));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -33,11 +33,26 @@ OOD_THREADS=4 OOD_POOL=0 cargo test --workspace --quiet || status=1
 echo "== fault drill (kill+resume, NaN batches, inner spikes)"
 cargo run -p bench --release --bin fault_drill >/dev/null || status=1
 
+# Smoke runs pass `--json -` so the fast numbers do not overwrite the
+# committed full-run artifacts (results/threads_sweep.json, mem_sweep.json).
 echo "== threads sweep smoke (bitwise determinism across thread counts)"
-OOD_BENCH_FAST=1 cargo run -p bench --release --bin threads_sweep >/dev/null || status=1
+OOD_BENCH_FAST=1 cargo run -p bench --release --bin threads_sweep -- --json - >/dev/null || status=1
 
 echo "== memory sweep smoke (pool neutrality + allocation reduction)"
-OOD_BENCH_FAST=1 cargo run -p bench --release --bin mem_sweep >/dev/null || status=1
+OOD_BENCH_FAST=1 cargo run -p bench --release --bin mem_sweep -- --json - >/dev/null || status=1
+
+echo "== perf gate (baseline regression check at t=1 and t=4)"
+OOD_BENCH_FAST=1 OOD_THREADS=1 cargo run -p bench --release --bin perf_gate -- --tolerance 2 >/dev/null || status=1
+OOD_BENCH_FAST=1 OOD_THREADS=4 cargo run -p bench --release --bin perf_gate -- --tolerance 2 >/dev/null || status=1
+
+echo "== perf gate self-test (injected allocation spike must be caught)"
+if OOD_BENCH_FAST=1 OOD_THREADS=1 cargo run -p bench --release --bin perf_gate -- --inject-alloc >/dev/null 2>&1; then
+    echo "perf_gate: injected allocation spike was NOT caught" >&2
+    status=1
+fi
+
+echo "== trace report smoke (span attribution covers >= 95% of wall)"
+cargo run -p bench --release --bin trace_report -- --min-coverage 95 --out - >/dev/null || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "check.sh: FAILED" >&2
