@@ -1,0 +1,524 @@
+//! Fault-injection drill for the serving runtime — the serving twin of
+//! `fault_drill`.
+//!
+//! Trains a tiny OOD-GNN on the triangles benchmark, serves its checkpoint
+//! through `oodgnn-serve`'s [`Server`], and replays dataset graphs as
+//! synthetic traffic through seeded fault phases:
+//!
+//! 1. **clean replay** — every graph answered `ok`, with a latency/QPS
+//!    budget;
+//! 2. **thread determinism** — responses bitwise-identical at
+//!    `OOD_THREADS={1,4}`;
+//! 3. **malformed storm** — hostile request lines each get a structured
+//!    `error`, the server survives;
+//! 4. **slow clients** — a stalled worker plus tight deadlines and a tiny
+//!    queue produce `shed` and `timeout` responses, never a crash;
+//! 5. **mid-stream reload** — a hot checkpoint swap bumps the model
+//!    version without dropping in-flight requests;
+//! 6. **corrupt reload** — a bit-flipped checkpoint is rejected by its
+//!    content checksum and the old version keeps serving bit-identically;
+//! 7. **NaN outputs** — poisoned forwards degrade to uniform fallbacks,
+//!    the circuit breaker opens, and service recovers bit-identically.
+//!
+//! Shed/timeout/degraded counters and latency histograms must be visible
+//! in the emitted telemetry. Exits non-zero if any phase fails.
+//!
+//! Run with: `cargo run --release --bin serve_drill`
+
+use datasets::triangles::{generate, TrianglesConfig};
+use gnn::models::ModelConfig;
+use gnn::trainer::TrainConfig;
+use oodgnn_core::{CheckpointConfig, OodGnn, OodGnnConfig, TrainOptions};
+use serve::{ModelSpec, Response, ServeConfig, Server, Status};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+use tensor::rng::Rng;
+
+const SEED: u64 = 12;
+const MODEL_SEED: u64 = 7;
+const HIDDEN: usize = 16;
+const LAYERS: usize = 2;
+/// Graphs replayed per traffic wave (also the server's max batch).
+const WAVE: usize = 8;
+/// How many dataset graphs the drill replays.
+const REPLAY: usize = 40;
+
+fn drill_config() -> OodGnnConfig {
+    OodGnnConfig {
+        model: ModelConfig {
+            hidden: HIDDEN,
+            layers: LAYERS,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 3e-3,
+            ..Default::default()
+        },
+        epoch_reweight: 4,
+        ..Default::default()
+    }
+}
+
+struct Drill {
+    failures: usize,
+}
+
+impl Drill {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {name}: {detail}");
+        } else {
+            println!("FAIL  {name}: {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oodgnn_serve_drill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Train a tiny model and leave its final checkpoint at `path`.
+fn train_checkpoint(bench: &datasets::OodBenchmark, path: &Path, model_seed: u64) {
+    let mut rng = Rng::seed_from(model_seed);
+    let mut model = OodGnn::new(
+        bench.dataset.feature_dim(),
+        bench.dataset.task(),
+        drill_config(),
+        &mut rng,
+    );
+    model
+        .train_run(
+            bench,
+            SEED,
+            TrainOptions {
+                checkpoint: Some(CheckpointConfig::new(path, 2)),
+                ..Default::default()
+            },
+        )
+        .expect("training run completes");
+}
+
+/// Serialize a dataset graph as an infer request line. Floats use Rust's
+/// shortest round-trip formatting, so the JSON hop is bit-exact.
+fn graph_line(id: &str, g: &graph::Graph, deadline_ms: u64) -> String {
+    let mut edges = String::new();
+    for (i, &(s, d)) in g.edges().iter().enumerate() {
+        if i > 0 {
+            edges.push(',');
+        }
+        edges.push_str(&format!("[{s},{d}]"));
+    }
+    let feats: Vec<String> = g
+        .features()
+        .data()
+        .iter()
+        .map(|v| format!("{v:?}"))
+        .collect();
+    format!(
+        "{{\"op\":\"infer\",\"id\":\"{id}\",\"nodes\":{},\"edges\":[{edges}],\"features\":[{}],\"deadline_ms\":{deadline_ms}}}",
+        g.num_nodes(),
+        feats.join(",")
+    )
+}
+
+fn ask(server: &Server, line: &str) -> Response {
+    let (tx, rx) = channel();
+    server.submit_line(line, &tx);
+    rx.recv_timeout(Duration::from_secs(60)).expect("response")
+}
+
+fn ask_burst(server: &Server, lines: &[String]) -> Vec<Response> {
+    let (tx, rx) = channel();
+    for line in lines {
+        server.submit_line(line, &tx);
+    }
+    (0..lines.len())
+        .map(|_| rx.recv_timeout(Duration::from_secs(60)).expect("response"))
+        .collect()
+}
+
+/// Block until the executor has picked up everything queued so far.
+fn wait_queue_empty(server: &Server) {
+    for _ in 0..400 {
+        let r = ask(server, r#"{"op":"stats","id":"q"}"#);
+        let depth = r
+            .extra
+            .iter()
+            .find(|(k, _)| k == "queue_depth")
+            .map_or(0.0, |(_, v)| *v);
+        if depth == 0.0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("queue never drained");
+}
+
+fn fnv1a_update(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+/// Replay `graphs` in waves; return (digest over output bits, latencies).
+fn replay(server: &Server, graphs: &[&graph::Graph]) -> (u64, Vec<u64>, usize) {
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut latencies = Vec::new();
+    let mut completed = 0usize;
+    for (wave_idx, wave) in graphs.chunks(WAVE).enumerate() {
+        let lines: Vec<String> = wave
+            .iter()
+            .enumerate()
+            .map(|(i, g)| graph_line(&format!("w{wave_idx}g{i}"), g, 60_000))
+            .collect();
+        let mut responses = ask_burst(server, &lines);
+        responses.sort_by(|a, b| a.id.cmp(&b.id));
+        for r in &responses {
+            if r.status == Status::Ok {
+                completed += 1;
+                for v in r.outputs.as_ref().unwrap() {
+                    fnv1a_update(&mut digest, v.to_bits() as u64);
+                }
+                if let Some(us) = r.latency_us {
+                    latencies.push(us);
+                }
+            }
+        }
+    }
+    (digest, latencies, completed)
+}
+
+fn start_server(spec: &ModelSpec, ck: &Path, config: ServeConfig) -> Server {
+    Server::start(
+        config,
+        vec![("default".into(), spec.clone(), ck.to_path_buf())],
+    )
+    .expect("server starts")
+}
+
+fn main() {
+    let jsonl = bench::telemetry::init("serve_drill", SEED);
+    let sink = trace::MemorySink::shared();
+    trace::attach(Box::new(sink.clone()));
+    // Captured before the determinism phase sweeps thread counts.
+    let launch_threads = tensor::par::current_threads();
+
+    let bench_data = generate(&TrianglesConfig::scaled(0.02), 1);
+    let dir = scratch_dir();
+    let ck1 = dir.join("serve_v1.oods");
+    let ck2 = dir.join("serve_v2.oods");
+    let mut drill = Drill { failures: 0 };
+
+    println!("# serve drill\n");
+    train_checkpoint(&bench_data, &ck1, MODEL_SEED);
+    train_checkpoint(&bench_data, &ck2, MODEL_SEED + 1);
+    drill.check(
+        "training checkpoints produced",
+        ck1.exists() && ck2.exists(),
+        format!("{} + {}", ck1.display(), ck2.display()),
+    );
+
+    let spec = ModelSpec::new(
+        "gin",
+        bench_data.dataset.feature_dim(),
+        HIDDEN,
+        LAYERS,
+        bench_data.dataset.task(),
+    );
+    let n = REPLAY.min(bench_data.dataset.len());
+    let graphs: Vec<&graph::Graph> = (0..n).map(|i| bench_data.dataset.graph(i)).collect();
+    let config = ServeConfig {
+        max_batch: WAVE,
+        ..ServeConfig::default()
+    };
+
+    // Phase 1: clean replay with a latency/QPS budget.
+    let server = start_server(&spec, &ck1, config.clone());
+    let t0 = Instant::now();
+    let (clean_digest, mut latencies, completed) = replay(&server, &graphs);
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    drill.check(
+        "clean replay completes every request",
+        completed == n,
+        format!("{completed}/{n} ok in {wall:.2}s"),
+    );
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx] as f64 / 1e3
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let qps = completed as f64 / wall.max(1e-9);
+    drill.check(
+        "latency/QPS budget holds",
+        p95 < 2000.0 && qps > 5.0,
+        format!("p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms, {qps:.0} req/s"),
+    );
+
+    // Phase 2: bitwise-identical responses at OOD_THREADS={1,4}.
+    let digest_at = |threads: usize| {
+        tensor::par::set_threads(threads);
+        let server = start_server(&spec, &ck1, config.clone());
+        let (digest, _, done) = replay(&server, &graphs);
+        server.shutdown();
+        (digest, done)
+    };
+    let (d1, done1) = digest_at(1);
+    let (d4, done4) = digest_at(4);
+    tensor::par::set_threads(tensor::par::max_threads());
+    drill.check(
+        "responses bitwise-identical at OOD_THREADS={1,4}",
+        d1 == d4 && d1 == clean_digest && done1 == n && done4 == n,
+        format!("digest t1 {d1:#018x} vs t4 {d4:#018x} vs default {clean_digest:#018x}"),
+    );
+
+    // Phase 3: malformed storm.
+    let server = start_server(&spec, &ck1, config.clone());
+    let hostile: Vec<String> = vec![
+        r#"{"op":"infer","id":"h0","nodes":3"#.into(),
+        "not json at all".into(),
+        r#"{"op":"infer","id":"h1","nodes":0,"features":[]}"#.into(),
+        r#"{"op":"infer","id":"h2","nodes":2,"features":[1,2,3]}"#.into(),
+        r#"{"op":"infer","id":"h3","nodes":1,"features":[1],"extra":true}"#.into(),
+        r#"{"op":"infer","id":"h4","model":"ghost","nodes":1,"features":[1,2,3,4]}"#.into(),
+        format!(
+            "{{\"op\":\"infer\",\"id\":\"h5\",\"nodes\":1,\"features\":[{}]}}",
+            "3,".repeat(600_000)
+        ),
+    ];
+    let errors = hostile
+        .iter()
+        .map(|line| ask(&server, line))
+        .filter(|r| r.status == Status::Error && r.error.is_some())
+        .count();
+    let survivor = ask(&server, &graph_line("after-storm", graphs[0], 60_000));
+    drill.check(
+        "malformed storm answered with structured errors",
+        errors == hostile.len() && survivor.status == Status::Ok,
+        format!(
+            "{errors}/{} errors, follow-up {:?}",
+            hostile.len(),
+            survivor.status
+        ),
+    );
+    server.shutdown();
+
+    // Phase 4: slow clients — tiny queue + stalled worker => shed + timeout.
+    let server = start_server(
+        &spec,
+        &ck1,
+        ServeConfig {
+            queue_capacity: 2,
+            max_batch: WAVE,
+            ..ServeConfig::default()
+        },
+    );
+    server.fault_injector().inject_slow_batches(1, 300);
+    let (tx, rx) = channel();
+    server.submit_line(&graph_line("stall", graphs[0], 60_000), &tx);
+    wait_queue_empty(&server);
+    for i in 0..6 {
+        server.submit_line(&graph_line(&format!("flood{i}"), graphs[1], 1), &tx);
+    }
+    let responses: Vec<Response> = (0..7)
+        .map(|_| rx.recv_timeout(Duration::from_secs(60)).expect("response"))
+        .collect();
+    let shed = responses
+        .iter()
+        .filter(|r| r.status == Status::Shed)
+        .count();
+    let timed_out = responses
+        .iter()
+        .filter(|r| r.status == Status::Timeout)
+        .count();
+    drill.check(
+        "overload sheds and expires instead of crashing",
+        shed == 4 && timed_out == 2,
+        format!("{shed} shed, {timed_out} timeout of 6 flooded"),
+    );
+    server.shutdown();
+
+    // Phase 5: mid-stream hot reload.
+    let server = start_server(&spec, &ck1, config.clone());
+    server.fault_injector().inject_slow_batches(1, 150);
+    let reload_line = format!(
+        "{{\"op\":\"reload\",\"id\":\"swap\",\"model\":\"default\",\"path\":{}}}",
+        json_quote(&ck2.display().to_string())
+    );
+    let lines = vec![
+        graph_line("stall", graphs[0], 60_000),
+        graph_line("pre", graphs[1], 60_000),
+        reload_line,
+        graph_line("post", graphs[1], 60_000),
+    ];
+    let responses = ask_burst(&server, &lines);
+    let find = |id: &str| responses.iter().find(|r| r.id == id).expect("response");
+    let (pre, swap, post) = (find("pre"), find("swap"), find("post"));
+    drill.check(
+        "hot reload bumps version without dropping in-flight work",
+        pre.status == Status::Ok
+            && pre.model_version == Some(1)
+            && swap.status == Status::Ok
+            && post.status == Status::Ok
+            && post.model_version == Some(2),
+        format!(
+            "pre v{:?} {:?}, swap {:?}, post v{:?} {:?}",
+            pre.model_version, pre.status, swap.status, post.model_version, post.status
+        ),
+    );
+
+    // Phase 6: corrupt checkpoint on reload — rejected, old version serves.
+    let baseline = ask(&server, &graph_line("base", graphs[2], 60_000));
+    let bad = dir.join("corrupt.oods");
+    // Flip one weight inside an otherwise well-formed snapshot: the stored
+    // content checksum goes stale, which is exactly the corruption class a
+    // raw byte flip in tensor data produces.
+    let mut snap = tensor::serialize::Snapshot::load(&ck1).expect("load snapshot");
+    for section in &mut snap.sections {
+        if section.name == "model" {
+            section.tensors[0].data_mut()[0] += 1.0;
+        }
+    }
+    snap.save_atomic(&bad).expect("write corrupt checkpoint");
+    let reject = ask(
+        &server,
+        &format!(
+            "{{\"op\":\"reload\",\"id\":\"bad\",\"model\":\"default\",\"path\":{}}}",
+            json_quote(&bad.display().to_string())
+        ),
+    );
+    let after = ask(&server, &graph_line("after", graphs[2], 60_000));
+    drill.check(
+        "corrupt reload rejected by checksum, old weights keep serving",
+        reject.status == Status::Error
+            && reject.error.as_deref().unwrap_or("").contains("checksum")
+            && after.status == Status::Ok
+            && bitwise_eq(&baseline, &after),
+        format!(
+            "reload -> {:?} ({:?}); follow-up {:?}",
+            reject.status,
+            reject.error.as_deref().unwrap_or(""),
+            after.status
+        ),
+    );
+    server.shutdown();
+
+    // Phase 7: NaN outputs degrade, the breaker opens, service recovers.
+    let server = start_server(
+        &spec,
+        &ck1,
+        ServeConfig {
+            max_batch: WAVE,
+            max_retries: 0,
+            breaker_threshold: 2,
+            breaker_cooldown: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let healthy = ask(&server, &graph_line("healthy", graphs[3], 60_000));
+    server.fault_injector().inject_nan_batches(2);
+    let out_dim = healthy.outputs.as_ref().map_or(0, Vec::len);
+    let mut degraded_uniform = 0;
+    let mut breaker_served = 0;
+    for i in 0..4 {
+        let r = ask(&server, &graph_line(&format!("nan{i}"), graphs[3], 60_000));
+        if r.status == Status::Degraded {
+            let uniform = r.outputs.as_ref().is_some_and(|o| o.len() == out_dim);
+            if r.error.as_deref().unwrap_or("").contains("breaker") {
+                breaker_served += 1;
+            } else if uniform {
+                degraded_uniform += 1;
+            }
+        }
+    }
+    let recovered = ask(&server, &graph_line("recovered", graphs[3], 60_000));
+    drill.check(
+        "nan outputs degrade to uniform, breaker opens, then recovery is bit-exact",
+        degraded_uniform == 2
+            && breaker_served == 2
+            && recovered.status == Status::Ok
+            && bitwise_eq(&healthy, &recovered),
+        format!(
+            "{degraded_uniform} degraded, {breaker_served} breaker-served, recovery {:?}",
+            recovered.status
+        ),
+    );
+    server.shutdown();
+
+    // Telemetry: the failure counters and latency histogram must be visible.
+    trace::metrics::flush();
+    let events = sink.events();
+    let has = |name: &str| events.iter().any(|e| e.name == name);
+    let hist_p95 = events
+        .iter()
+        .rfind(|e| e.name == "serve/latency_ms")
+        .and_then(|e| e.field("p95").and_then(|v| v.as_f64()));
+    drill.check(
+        "shed/timeout/degraded counters and latency histogram in telemetry",
+        has("serve/shed")
+            && has("serve/timeout")
+            && has("serve/degraded")
+            && has("serve/ok")
+            && hist_p95.is_some(),
+        format!("hist p95 {:?}ms", hist_p95),
+    );
+    drill.check(
+        "lifecycle events in telemetry",
+        has(trace::names::SERVE_SUMMARY)
+            && has(trace::names::MODEL_RELOAD)
+            && has("serve_breaker_open")
+            && has("model_reload_failed")
+            && has("serve_drain"),
+        "serve_summary, model_reload, serve_breaker_open, model_reload_failed, serve_drain"
+            .to_string(),
+    );
+
+    // Persist the verdict for the trajectory.
+    let mut metrics = bench::perf::MetricFile::new("serve_drill");
+    metrics.set("failures", drill.failures as f64);
+    metrics.set("requests_ok", completed as f64);
+    metrics.set("latency_p50_ms", p50);
+    metrics.set("latency_p95_ms", p95);
+    metrics.set("latency_p99_ms", p99);
+    metrics.set("qps", qps);
+    metrics.set_meta("threads", launch_threads.to_string());
+    if let Err(e) = metrics.save("results/serve_drill.json") {
+        eprintln!("cannot save results/serve_drill.json: {e}");
+    }
+    if let Err(e) = metrics.append_to_trajectory("results/BENCH_trajectory.jsonl") {
+        eprintln!("cannot append trajectory: {e}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    bench::telemetry::finish(&jsonl);
+    if drill.failures > 0 {
+        println!("\n{} drill(s) FAILED", drill.failures);
+        std::process::exit(1);
+    }
+    println!("\nall drills passed");
+}
+
+fn bitwise_eq(a: &Response, b: &Response) -> bool {
+    match (&a.outputs, &b.outputs) {
+        (Some(x), Some(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => false,
+    }
+}
+
+fn json_quote(s: &str) -> String {
+    let mut out = String::new();
+    trace::json::write_str(&mut out, s);
+    out
+}

@@ -92,6 +92,10 @@ pub fn finish(jsonl: &Option<PathBuf>) {
                     "peak_retained_bytes",
                     (snap.pool.peak_retained_bytes as i64).into(),
                 ),
+                (
+                    "telemetry_dropped_writes",
+                    trace::jsonl_dropped_writes().into(),
+                ),
             ],
         );
     }

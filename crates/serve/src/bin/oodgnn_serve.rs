@@ -1,0 +1,162 @@
+//! `oodgnn-serve` — long-running JSONL inference server over stdio.
+//!
+//! Reads one request object per stdin line, writes one response object per
+//! stdout line (responses may arrive out of request order; correlate by
+//! `id`). EOF on stdin triggers a graceful drain. Example:
+//!
+//! ```text
+//! oodgnn-serve --checkpoint model.oods --in-dim 7 --hidden 16 --layers 2 \
+//!     --task multiclass --out-dim 2
+//! ```
+
+use oodgnn_serve::{ModelSpec, Response, ServeConfig, Server};
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oodgnn-serve --checkpoint PATH --in-dim N [options]\n\
+         \n\
+         options:\n\
+         \x20 --checkpoint PATH   TrainCheckpoint file to serve (required)\n\
+         \x20 --in-dim N          node-feature dimension (required)\n\
+         \x20 --backbone NAME     gcn|gin|pna|sage|gat|factor (default gin)\n\
+         \x20 --hidden N          hidden dimension (default 32)\n\
+         \x20 --layers N          message-passing layers (default 3)\n\
+         \x20 --task KIND         multiclass|binary|regression (default multiclass)\n\
+         \x20 --out-dim N         classes/tasks/targets (default 2)\n\
+         \x20 --queue N           admission-queue capacity (default 64)\n\
+         \x20 --batch N           max coalesced batch size (default 8)\n\
+         \x20 --deadline-ms N     default per-request deadline (default 1000)\n\
+         \x20 --telemetry PATH    also write trace events to a JSONL file"
+    );
+    std::process::exit(2);
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn from_env() -> Flags {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(name) = args[i].strip_prefix("--") else {
+                eprintln!("unexpected argument `{}`", args[i]);
+                usage();
+            };
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("flag --{name} needs a value");
+                usage();
+            };
+            pairs.push((name.to_string(), value.clone()));
+            i += 2;
+        }
+        Flags { pairs }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("flag --{name} expects an integer, got `{v}`");
+                usage();
+            })
+        })
+    }
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let Some(checkpoint) = flags.get("checkpoint") else {
+        eprintln!("--checkpoint is required");
+        usage();
+    };
+    let in_dim = flags.get_usize("in-dim", 0);
+    if in_dim == 0 {
+        eprintln!("--in-dim is required and must be positive");
+        usage();
+    }
+    let out_dim = flags.get_usize("out-dim", 2);
+    let task = match flags.get("task").unwrap_or("multiclass") {
+        "multiclass" => graph::TaskType::MultiClass { classes: out_dim },
+        "binary" => graph::TaskType::BinaryClassification { tasks: out_dim },
+        "regression" => graph::TaskType::Regression { targets: out_dim },
+        other => {
+            eprintln!("unknown task `{other}`");
+            usage();
+        }
+    };
+    let spec = ModelSpec::new(
+        flags.get("backbone").unwrap_or("gin"),
+        in_dim,
+        flags.get_usize("hidden", 32),
+        flags.get_usize("layers", 3),
+        task,
+    );
+    let config = ServeConfig {
+        queue_capacity: flags.get_usize("queue", 64),
+        max_batch: flags.get_usize("batch", 8),
+        default_deadline_ms: flags.get_usize("deadline-ms", 1000) as u64,
+        ..ServeConfig::default()
+    };
+
+    if std::env::var("OOD_TELEMETRY").map_or(true, |v| v != "0") {
+        if let Some(path) = flags.get("telemetry") {
+            match trace::JsonlSink::create(path) {
+                Ok(sink) => trace::attach(Box::new(sink)),
+                Err(e) => eprintln!("cannot open telemetry file `{path}`: {e}"),
+            }
+        }
+        trace::set_run("oodgnn-serve", 0);
+    }
+
+    let server = match Server::start(config, vec![("default".into(), spec, checkpoint.into())]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("oodgnn-serve: ready (model `default` from {checkpoint})");
+
+    // One writer thread owns stdout; admission and the executor both feed
+    // it through the response channel.
+    let (tx, rx) = std::sync::mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let mut dropped = 0u64;
+        for response in rx {
+            if writeln!(out, "{}", response.to_json()).is_err() {
+                dropped += 1;
+            }
+        }
+        let _ = out.flush();
+        if dropped > 0 {
+            eprintln!("oodgnn-serve: {dropped} responses lost to stdout errors");
+        }
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        server.submit_line(&line, &tx);
+    }
+
+    server.shutdown();
+    drop(tx);
+    let _ = writer.join();
+    trace::flush_sinks();
+    trace::detach_all();
+}

@@ -1,0 +1,325 @@
+//! Minimal JSON reader for the serving wire protocol.
+//!
+//! The trace crate's parser is flat-objects-only by design (telemetry
+//! events never nest), but inference requests carry arrays (`edges`,
+//! `features`), so the serving protocol gets its own reader. It accepts
+//! exactly what the protocol needs — one top-level object whose values are
+//! scalars or arrays nested at most two deep — and rejects everything else
+//! with a message suitable for a structured error response. Element counts
+//! are bounded by the caller-supplied limit so a hostile payload cannot
+//! balloon memory before validation.
+
+/// A parsed JSON value (no nested objects: the protocol is flat).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// The value as a finite non-negative integer, if it is one.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum array nesting the protocol ever uses (`edges: [[s,d],…]`).
+const MAX_DEPTH: usize = 2;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Remaining element budget across all arrays in the document.
+    budget: usize,
+}
+
+/// Parse one top-level JSON object into ordered key/value pairs.
+/// `max_elements` bounds the total number of array elements accepted.
+pub fn parse_object(text: &str, max_elements: usize) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        budget: max_elements,
+    };
+    p.skip_ws();
+    if !p.eat(b'{') {
+        return Err("expected '{' at start of request".into());
+    }
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.eat(b'}') {
+        p.expect_end()?;
+        return Ok(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        if !p.eat(b':') {
+            return Err(format!("expected ':' after key \"{key}\""));
+        }
+        p.skip_ws();
+        let value = p.parse_value(0)?;
+        pairs.push((key, value));
+        p.skip_ws();
+        if p.eat(b',') {
+            continue;
+        }
+        if p.eat(b'}') {
+            break;
+        }
+        return Err("expected ',' or '}' in object".into());
+    }
+    p.expect_end()?;
+    Ok(pairs)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after request object".into())
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => Err("nested objects are not part of the protocol".into()),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(_) => self.parse_number(),
+            None => Err("unexpected end of request".into()),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal (expected {lit})"))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, String> {
+        if depth >= MAX_DEPTH {
+            return Err("arrays nested deeper than the protocol allows".into());
+        }
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            if self.budget == 0 {
+                return Err("request exceeds the array element limit".into());
+            }
+            self.budget -= 1;
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            return Err("expected ',' or ']' in array".into());
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if !self.eat(b'"') {
+            return Err("expected string".into());
+        }
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err("unknown escape sequence".into()),
+                    }
+                }
+                _ => {
+                    // Continue a UTF-8 sequence byte-by-byte: the input was
+                    // a &str, so sequences are valid; collect raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while self
+                        .bytes
+                        .get(end)
+                        .is_some_and(|&c| c != b'"' && c != b'\\')
+                    {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("malformed number `{text}`"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number `{text}`"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_and_nested_arrays() {
+        let pairs = parse_object(
+            r#"{"op":"infer","nodes":3,"edges":[[0,1],[1,2]],"features":[1.0,-2.5,3e-2],"ok":true,"x":null}"#,
+            100,
+        )
+        .unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("infer"));
+        assert_eq!(pairs[1].1.as_uint(), Some(3));
+        let edges = pairs[2].1.as_arr().unwrap();
+        assert_eq!(edges[1].as_arr().unwrap()[1].as_uint(), Some(2));
+        let feats = pairs[3].1.as_arr().unwrap();
+        assert_eq!(feats[1].as_f64(), Some(-2.5));
+        assert_eq!(pairs[4].1, Json::Bool(true));
+        assert_eq!(pairs[5].1, Json::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            r#"{"a":}"#,
+            r#"{"a":1"#,
+            r#"{"a":1}x"#,
+            r#"{"a":[1,]}"#,
+            r#"{"a":{"b":1}}"#,
+            r#"{"a":[[[1]]]}"#,
+            r#"{"a":1e999}"#,
+            r#"{"a":nul}"#,
+            r#"{"a":"unterminated}"#,
+        ] {
+            assert!(parse_object(bad, 100).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn element_budget_is_enforced() {
+        assert!(parse_object(r#"{"a":[1,2,3,4]}"#, 4).is_ok());
+        assert!(parse_object(r#"{"a":[1,2,3,4,5]}"#, 4).is_err());
+        // Nested elements count against the same budget.
+        assert!(parse_object(r#"{"a":[[1,2],[3,4]]}"#, 4).is_err());
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let pairs = parse_object(r#"{"id":"a\"b\\c\ndA"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("a\"b\\c\ndA"));
+    }
+}

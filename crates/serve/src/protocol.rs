@@ -1,0 +1,511 @@
+//! The JSONL wire protocol: one request object per line in, one response
+//! object per line out.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! * `infer` — `{"op":"infer","id":"r1","model":"default","nodes":N,
+//!   "edges":[[s,d],…],"features":[f,…],"deadline_ms":250}`. Edges are
+//!   **directed** pairs (send both orientations for an undirected graph);
+//!   `features` is the row-major `[N, feature_dim]` node-feature matrix.
+//! * `health` / `ready` / `stats` — liveness, readiness and counter probes,
+//!   answered at admission without queueing.
+//! * `reload` — `{"op":"reload","model":"default","path":"…"}` swaps the
+//!   named registry entry to a new checkpoint, in queue order, without
+//!   dropping in-flight requests.
+//! * `drain` — stop admitting inference, finish everything already queued,
+//!   then shut the executor down.
+//!
+//! Responses carry `status` ∈ {`ok`, `error`, `shed`, `timeout`,
+//! `degraded`} (see the failure-modes table in `EXPERIMENTS.md`). Every
+//! malformed line yields a structured `error` response — never a dead
+//! server.
+
+use crate::json::{parse_object, Json};
+
+/// Hard bounds enforced before a request is admitted.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum accepted request line length in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum nodes per graph.
+    pub max_nodes: usize,
+    /// Maximum directed edges per graph.
+    pub max_edges: usize,
+    /// Maximum node-feature dimension.
+    pub max_feature_dim: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line_bytes: 1 << 20,
+            max_nodes: 4096,
+            max_edges: 1 << 16,
+            max_feature_dim: 1024,
+        }
+    }
+}
+
+impl Limits {
+    /// Total array-element budget implied by the per-field bounds.
+    fn element_budget(&self) -> usize {
+        // edges (pairs count once each + two endpoints each) + features.
+        self.max_edges * 3 + self.max_nodes * self.max_feature_dim
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// Registry entry to run against.
+    pub model: String,
+    /// Number of nodes in the graph.
+    pub num_nodes: usize,
+    /// Directed edges as `(src, dst)` node indices.
+    pub edges: Vec<(u32, u32)>,
+    /// Row-major `[num_nodes, feature_dim]` node features.
+    pub features: Vec<f32>,
+    /// Per-request deadline; the server default applies when absent.
+    pub deadline_ms: Option<u64>,
+}
+
+impl InferRequest {
+    /// Feature dimension implied by the payload (`features.len() / nodes`).
+    pub fn feature_dim(&self) -> usize {
+        self.features.len() / self.num_nodes.max(1)
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run one graph through a registered model.
+    Infer(InferRequest),
+    /// Liveness probe.
+    Health {
+        /// Correlation id.
+        id: String,
+    },
+    /// Readiness probe (models loaded, not draining).
+    Ready {
+        /// Correlation id.
+        id: String,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Swap a registry entry to a new checkpoint file.
+    Reload {
+        /// Correlation id.
+        id: String,
+        /// Registry entry to swap.
+        model: String,
+        /// Checkpoint file to load.
+        path: String,
+    },
+    /// Graceful shutdown: finish queued work, stop admitting.
+    Drain {
+        /// Correlation id.
+        id: String,
+    },
+}
+
+/// Extract the `id` field from a line on a best-effort basis, so error
+/// responses to malformed requests still correlate when possible. Falls
+/// back to a raw textual scan when the line doesn't parse at all (the
+/// whole point: the request is malformed).
+pub fn best_effort_id(line: &str) -> String {
+    if let Ok(pairs) = parse_object(line, usize::MAX) {
+        for (k, v) in pairs {
+            if k == "id" {
+                if let Some(s) = v.as_str() {
+                    return s.to_string();
+                }
+            }
+        }
+        return String::new();
+    }
+    let Some(start) = line.find("\"id\":") else {
+        return String::new();
+    };
+    let rest = line[start + 5..].trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return String::new();
+    };
+    // Take up to the closing quote; give up on escapes (they're rare in
+    // correlation ids and a wrong guess is worse than none).
+    match rest.find(['"', '\\']) {
+        Some(end) if rest.as_bytes().get(end) == Some(&b'"') => rest[..end].to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Parse and validate one request line against the limits. Every rejection
+/// is a client error message suitable for a structured `error` response.
+pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, String> {
+    if line.len() > limits.max_line_bytes {
+        return Err(format!(
+            "request line is {} bytes (limit {})",
+            line.len(),
+            limits.max_line_bytes
+        ));
+    }
+    let pairs = parse_object(line.trim(), limits.element_budget())?;
+    let mut op = None;
+    let mut id = String::new();
+    let mut model = "default".to_string();
+    let mut path = None;
+    let mut num_nodes = None;
+    let mut edges = None;
+    let mut features = None;
+    let mut deadline_ms = None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "op" => op = Some(req_str(&value, "op")?),
+            "id" => id = req_str(&value, "id")?,
+            "model" => model = req_str(&value, "model")?,
+            "path" => path = Some(req_str(&value, "path")?),
+            "nodes" => {
+                num_nodes = Some(
+                    value
+                        .as_uint()
+                        .ok_or("`nodes` must be a non-negative integer")?
+                        as usize,
+                )
+            }
+            "edges" => edges = Some(parse_edges(&value, limits)?),
+            "features" => features = Some(parse_features(&value)?),
+            "deadline_ms" => {
+                deadline_ms = Some(value.as_uint().ok_or("`deadline_ms` must be an integer")?)
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    let op = op.ok_or("missing `op` field")?;
+    match op.as_str() {
+        "infer" => {
+            let num_nodes = num_nodes.ok_or("infer requires `nodes`")?;
+            if num_nodes == 0 {
+                return Err("graph must have at least one node".into());
+            }
+            if num_nodes > limits.max_nodes {
+                return Err(format!(
+                    "graph has {num_nodes} nodes (limit {})",
+                    limits.max_nodes
+                ));
+            }
+            let edges = edges.unwrap_or_default();
+            for &(s, d) in &edges {
+                if s as usize >= num_nodes || d as usize >= num_nodes {
+                    return Err(format!("edge ({s},{d}) out of range for {num_nodes} nodes"));
+                }
+            }
+            let features = features.ok_or("infer requires `features`")?;
+            if features.is_empty() || features.len() % num_nodes != 0 {
+                return Err(format!(
+                    "features length {} is not a multiple of {num_nodes} nodes",
+                    features.len()
+                ));
+            }
+            let dim = features.len() / num_nodes;
+            if dim > limits.max_feature_dim {
+                return Err(format!(
+                    "feature dim {dim} exceeds limit {}",
+                    limits.max_feature_dim
+                ));
+            }
+            Ok(Request::Infer(InferRequest {
+                id,
+                model,
+                num_nodes,
+                edges,
+                features,
+                deadline_ms,
+            }))
+        }
+        "health" => Ok(Request::Health { id }),
+        "ready" => Ok(Request::Ready { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "reload" => Ok(Request::Reload {
+            id,
+            model,
+            path: path.ok_or("reload requires `path`")?,
+        }),
+        "drain" => Ok(Request::Drain { id }),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn req_str(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+fn parse_edges(value: &Json, limits: &Limits) -> Result<Vec<(u32, u32)>, String> {
+    let arr = value.as_arr().ok_or("`edges` must be an array of pairs")?;
+    if arr.len() > limits.max_edges {
+        return Err(format!(
+            "graph has {} edges (limit {})",
+            arr.len(),
+            limits.max_edges
+        ));
+    }
+    let mut edges = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let pair = pair.as_arr().ok_or("each edge must be a [src,dst] pair")?;
+        if pair.len() != 2 {
+            return Err("each edge must be a [src,dst] pair".into());
+        }
+        let s = pair[0].as_uint().ok_or("edge endpoints must be integers")?;
+        let d = pair[1].as_uint().ok_or("edge endpoints must be integers")?;
+        if s > u32::MAX as u64 || d > u32::MAX as u64 {
+            return Err("edge endpoint out of range".into());
+        }
+        edges.push((s as u32, d as u32));
+    }
+    Ok(edges)
+}
+
+fn parse_features(value: &Json) -> Result<Vec<f32>, String> {
+    let arr = value.as_arr().ok_or("`features` must be a number array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let f = v.as_f64().ok_or("`features` must contain only numbers")? as f32;
+        if !f.is_finite() {
+            return Err("`features` must be finite".into());
+        }
+        out.push(f);
+    }
+    Ok(out)
+}
+
+/// Response status, mirrored by the failure-modes table in the docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served normally.
+    Ok,
+    /// The request was rejected (malformed, unknown model, bad shape).
+    Error,
+    /// The admission queue was full (backpressure): retry later.
+    Shed,
+    /// The deadline expired before the batch ran; the slot was freed.
+    Timeout,
+    /// The forward pass failed after retries; the payload is the uniform
+    /// fallback distribution (circuit-breaker path).
+    Degraded,
+}
+
+impl Status {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Error => "error",
+            Status::Shed => "shed",
+            Status::Timeout => "timeout",
+            Status::Degraded => "degraded",
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Correlation id copied from the request (may be empty when the
+    /// request was too malformed to recover one).
+    pub id: String,
+    /// Outcome.
+    pub status: Status,
+    /// Model outputs (class probabilities / per-task sigmoids / raw
+    /// regression values) for `ok` and `degraded` responses.
+    pub outputs: Option<Vec<f32>>,
+    /// Human-readable cause for non-`ok` responses.
+    pub error: Option<String>,
+    /// Registry version that produced the outputs.
+    pub model_version: Option<u64>,
+    /// Queue-to-reply latency in microseconds.
+    pub latency_us: Option<u64>,
+    /// Extra numeric fields (probe and stats payloads).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl Response {
+    /// A bare response with the given id and status.
+    pub fn new(id: impl Into<String>, status: Status) -> Self {
+        Response {
+            id: id.into(),
+            status,
+            outputs: None,
+            error: None,
+            model_version: None,
+            latency_us: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// An `error` response with a cause.
+    pub fn error(id: impl Into<String>, cause: impl Into<String>) -> Self {
+        let mut r = Response::new(id, Status::Error);
+        r.error = Some(cause.into());
+        r
+    }
+
+    /// Builder-style extra numeric field.
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"id\":");
+        trace::json::write_str(&mut out, &self.id);
+        out.push_str(",\"status\":");
+        trace::json::write_str(&mut out, self.status.as_str());
+        if let Some(v) = self.model_version {
+            out.push_str(&format!(",\"model_version\":{v}"));
+        }
+        if let Some(us) = self.latency_us {
+            out.push_str(&format!(",\"latency_us\":{us}"));
+        }
+        if let Some(e) = &self.error {
+            out.push_str(",\"error\":");
+            trace::json::write_str(&mut out, e);
+        }
+        if let Some(outputs) = &self.outputs {
+            out.push_str(",\"outputs\":[");
+            for (i, v) in outputs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                trace::json::write_value(&mut out, &trace::Value::Float(*v as f64));
+            }
+            out.push(']');
+        }
+        for (k, v) in &self.extra {
+            out.push(',');
+            trace::json::write_str(&mut out, k);
+            out.push(':');
+            trace::json::write_value(&mut out, &trace::Value::Float(*v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infer_line() -> String {
+        r#"{"op":"infer","id":"r1","nodes":3,"edges":[[0,1],[1,0]],"features":[1,2,3,4,5,6]}"#
+            .to_string()
+    }
+
+    #[test]
+    fn parses_a_well_formed_infer() {
+        let req = parse_request(&infer_line(), &Limits::default()).unwrap();
+        let Request::Infer(req) = req else {
+            panic!("not infer")
+        };
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.model, "default");
+        assert_eq!(req.num_nodes, 3);
+        assert_eq!(req.edges, vec![(0, 1), (1, 0)]);
+        assert_eq!(req.feature_dim(), 2);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_protocol_violations_with_messages() {
+        let limits = Limits::default();
+        let cases: Vec<(String, &str)> = vec![
+            (r#"{"op":"infer","nodes":0,"features":[]}"#.into(), "node"),
+            (
+                r#"{"op":"infer","nodes":2,"features":[1,2,3]}"#.into(),
+                "multiple",
+            ),
+            (
+                r#"{"op":"infer","nodes":2,"edges":[[0,5]],"features":[1,2]}"#.into(),
+                "out of range",
+            ),
+            (
+                r#"{"op":"infer","nodes":1,"features":[1],"wat":1}"#.into(),
+                "unknown field",
+            ),
+            (r#"{"op":"resolve"}"#.into(), "unknown op"),
+            (r#"{"id":"x"}"#.into(), "missing `op`"),
+            (r#"{"op":"reload"}"#.into(), "path"),
+            (
+                r#"{"op":"infer","nodes":1,"features":[1,"a"]}"#.into(),
+                "numbers",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(&line, &limits).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_before_parsing() {
+        let limits = Limits {
+            max_line_bytes: 64,
+            ..Limits::default()
+        };
+        let line = format!(
+            r#"{{"op":"infer","nodes":1,"features":[{}]}}"#,
+            vec!["1"; 64].join(",")
+        );
+        let err = parse_request(&line, &limits).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn node_and_edge_limits_apply() {
+        let limits = Limits {
+            max_nodes: 4,
+            max_edges: 2,
+            ..Limits::default()
+        };
+        let err = parse_request(
+            r#"{"op":"infer","nodes":5,"features":[1,2,3,4,5]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+        let err = parse_request(
+            r#"{"op":"infer","nodes":2,"edges":[[0,1],[1,0],[0,0]],"features":[1,2]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert!(err.contains("edges"), "{err}");
+    }
+
+    #[test]
+    fn best_effort_id_recovers_when_possible() {
+        assert_eq!(best_effort_id(r#"{"id":"abc","op":"nope"}"#), "abc");
+        assert_eq!(best_effort_id(r#"{"id":"#), "");
+    }
+
+    #[test]
+    fn response_serializes_one_line() {
+        let mut r = Response::new("r1", Status::Ok);
+        r.outputs = Some(vec![0.25, 0.75]);
+        r.model_version = Some(2);
+        r.latency_us = Some(1234);
+        let line = r.to_json();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert!(line.contains("\"outputs\":[0.25,0.75]"), "{line}");
+        assert!(line.contains("\"model_version\":2"), "{line}");
+        assert!(!line.contains('\n'));
+        let shed = Response::error("x", "queue full");
+        assert!(shed.to_json().contains("queue full"));
+    }
+}

@@ -24,6 +24,10 @@ pub mod names {
     pub const RUN_SUMMARY: &str = "run_summary";
     /// Perf-gate verdict: pass/fail, wall time, attribution coverage.
     pub const PERF_GATE: &str = "perf_gate";
+    /// Serving-runtime drain summary: ok/shed/timeout/degraded counters.
+    pub const SERVE_SUMMARY: &str = "serve_summary";
+    /// Successful hot checkpoint reload: model, new version, path.
+    pub const MODEL_RELOAD: &str = "model_reload";
 }
 
 /// A telemetry field value.

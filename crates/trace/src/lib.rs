@@ -40,7 +40,7 @@ pub mod span;
 
 pub use event::{names, Event, EventKind, Value};
 pub use manifest::RunManifest;
-pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
+pub use sink::{jsonl_dropped_writes, ConsoleSink, JsonlSink, MemorySink, Sink};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;

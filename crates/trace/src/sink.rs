@@ -11,7 +11,33 @@ use crate::event::{Event, EventKind};
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Telemetry writes dropped on I/O errors across every [`JsonlSink`] in
+/// the process (telemetry must never crash the experiment, but silent loss
+/// must still be visible).
+static JSONL_DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Whether the one-time dropped-write warning has been printed.
+static JSONL_DROP_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Total JSONL telemetry writes dropped on I/O errors so far in this
+/// process. Surfaced in the end-of-run `run_summary` event so a full disk
+/// or broken pipe shows up in the artifacts it was corrupting.
+pub fn jsonl_dropped_writes() -> u64 {
+    JSONL_DROPPED.load(Ordering::Relaxed)
+}
+
+fn record_dropped_write(path: &Path, err: &std::io::Error) {
+    JSONL_DROPPED.fetch_add(1, Ordering::Relaxed);
+    if !JSONL_DROP_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: telemetry write to `{}` failed ({err}); further \
+             drops are counted silently",
+            path.display()
+        );
+    }
+}
 
 /// Destination for telemetry events. Implementations must be cheap per
 /// event; the global emitter already filters out the no-sink case.
@@ -96,12 +122,17 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn emit(&mut self, event: &Event) {
-        // Telemetry must never crash the experiment; drop on I/O error.
-        let _ = writeln!(self.writer, "{}", event.to_json());
+        // Telemetry must never crash the experiment; drop on I/O error,
+        // but count the loss so it surfaces in the run summary.
+        if let Err(e) = writeln!(self.writer, "{}", event.to_json()) {
+            record_dropped_write(&self.path, &e);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            record_dropped_write(&self.path, &e);
+        }
     }
 }
 
@@ -202,5 +233,24 @@ mod tests {
         assert_eq!(events[2].kind, EventKind::Counter);
         assert_eq!(events[2].field("value").unwrap().as_i64(), Some(4));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_writes_are_counted_not_swallowed() {
+        // /dev/full returns ENOSPC on write — the canonical way to provoke
+        // an I/O error without filling a disk. Skip where it's absent.
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let _guard = crate::test_lock();
+        let before = jsonl_dropped_writes();
+        let mut sink = JsonlSink::create("/dev/full").unwrap();
+        // BufWriter absorbs small writes; force the error out via flush.
+        sink.emit(&Event::new(EventKind::Event, "doomed"));
+        sink.flush();
+        assert!(
+            jsonl_dropped_writes() > before,
+            "write to /dev/full should have been counted as dropped"
+        );
     }
 }

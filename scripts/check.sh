@@ -33,6 +33,10 @@ OOD_THREADS=4 OOD_POOL=0 cargo test --workspace --quiet || status=1
 echo "== fault drill (kill+resume, NaN batches, inner spikes)"
 cargo run -p bench --release --bin fault_drill >/dev/null || status=1
 
+echo "== serve drill (shed, timeout, degrade, reload, drain) at t=1 and t=4"
+OOD_THREADS=1 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
+OOD_THREADS=4 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
+
 # Smoke runs pass `--json -` so the fast numbers do not overwrite the
 # committed full-run artifacts (results/threads_sweep.json, mem_sweep.json).
 echo "== threads sweep smoke (bitwise determinism across thread counts)"
