@@ -6,13 +6,16 @@
 //! synthetic traffic through seeded fault phases:
 //!
 //! 1. **clean replay** — every graph answered `ok`, with a latency/QPS
-//!    budget;
+//!    budget; every response's `timing` object partitions its end-to-end
+//!    latency, and the rolling-window stage means attribute ≥95% of the
+//!    window's e2e mean;
 //! 2. **thread determinism** — responses bitwise-identical at
-//!    `OOD_THREADS={1,4}`;
+//!    `OOD_THREADS={1,4}` with timing enabled;
 //! 3. **malformed storm** — hostile request lines each get a structured
 //!    `error`, the server survives;
 //! 4. **slow clients** — a stalled worker plus tight deadlines and a tiny
-//!    queue produce `shed` and `timeout` responses, never a crash;
+//!    queue produce `shed` and `timeout` responses, never a crash, and
+//!    the `stats` probe answers out-of-band mid-flood;
 //! 5. **mid-stream reload** — a hot checkpoint swap bumps the model
 //!    version without dropping in-flight requests;
 //! 6. **corrupt reload** — a bit-flipped checkpoint is rejected by its
@@ -106,7 +109,9 @@ fn train_checkpoint(bench: &datasets::OodBenchmark, path: &Path, model_seed: u64
 }
 
 /// Serialize a dataset graph as an infer request line. Floats use Rust's
-/// shortest round-trip formatting, so the JSON hop is bit-exact.
+/// shortest round-trip formatting, so the JSON hop is bit-exact. Every
+/// drill request asks for the per-stage `timing` object — the digest
+/// phases double as proof that timing never perturbs outputs.
 fn graph_line(id: &str, g: &graph::Graph, deadline_ms: u64) -> String {
     let mut edges = String::new();
     for (i, &(s, d)) in g.edges().iter().enumerate() {
@@ -122,7 +127,7 @@ fn graph_line(id: &str, g: &graph::Graph, deadline_ms: u64) -> String {
         .map(|v| format!("{v:?}"))
         .collect();
     format!(
-        "{{\"op\":\"infer\",\"id\":\"{id}\",\"nodes\":{},\"edges\":[{edges}],\"features\":[{}],\"deadline_ms\":{deadline_ms}}}",
+        "{{\"op\":\"infer\",\"id\":\"{id}\",\"nodes\":{},\"edges\":[{edges}],\"features\":[{}],\"deadline_ms\":{deadline_ms},\"timing\":true}}",
         g.num_nodes(),
         feats.join(",")
     )
@@ -166,11 +171,15 @@ fn fnv1a_update(h: &mut u64, v: u64) {
     *h = h.wrapping_mul(0x100000001b3);
 }
 
-/// Replay `graphs` in waves; return (digest over output bits, latencies).
-fn replay(server: &Server, graphs: &[&graph::Graph]) -> (u64, Vec<u64>, usize) {
+/// Replay `graphs` in waves; return (digest over output bits, latencies,
+/// ok count, timing violations). A violation is an `ok` response whose
+/// `timing` object is missing or whose stage sum differs from the
+/// reported end-to-end latency.
+fn replay(server: &Server, graphs: &[&graph::Graph]) -> (u64, Vec<u64>, usize, usize) {
     let mut digest: u64 = 0xcbf29ce484222325;
     let mut latencies = Vec::new();
     let mut completed = 0usize;
+    let mut timing_violations = 0usize;
     for (wave_idx, wave) in graphs.chunks(WAVE).enumerate() {
         let lines: Vec<String> = wave
             .iter()
@@ -188,10 +197,14 @@ fn replay(server: &Server, graphs: &[&graph::Graph]) -> (u64, Vec<u64>, usize) {
                 if let Some(us) = r.latency_us {
                     latencies.push(us);
                 }
+                match (&r.timing, r.latency_us) {
+                    (Some(t), Some(us)) if t.total_us() == us => {}
+                    _ => timing_violations += 1,
+                }
             }
         }
     }
-    (digest, latencies, completed)
+    (digest, latencies, completed, timing_violations)
 }
 
 fn start_server(spec: &ModelSpec, ck: &Path, config: ServeConfig) -> Server {
@@ -238,16 +251,60 @@ fn main() {
         ..ServeConfig::default()
     };
 
-    // Phase 1: clean replay with a latency/QPS budget.
+    // Phase 1: clean replay with a latency/QPS budget, plus the stage
+    // observability gates: every response's timing partitions its
+    // latency, and the rolling-window stage means attribute ≥95% of the
+    // end-to-end window mean.
     let server = start_server(&spec, &ck1, config.clone());
     let t0 = Instant::now();
-    let (clean_digest, mut latencies, completed) = replay(&server, &graphs);
+    let (clean_digest, mut latencies, completed, timing_bad) = replay(&server, &graphs);
     let wall = t0.elapsed().as_secs_f64();
+    let stats_resp = ask(&server, r#"{"op":"stats","id":"post-replay"}"#);
     server.shutdown();
     drill.check(
         "clean replay completes every request",
         completed == n,
         format!("{completed}/{n} ok in {wall:.2}s"),
+    );
+    drill.check(
+        "stage timing partitions e2e latency on every response",
+        timing_bad == 0,
+        format!("{timing_bad}/{completed} responses with missing or non-partitioning timing"),
+    );
+    let stat = |key: &str| {
+        stats_resp
+            .extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    };
+    let stage_sum: f64 = ["queue", "assemble", "compute", "write"]
+        .iter()
+        .filter_map(|s| stat(&format!("stage_{s}_mean_ms")))
+        .sum();
+    let e2e_mean = stat("win_latency_mean_ms").unwrap_or(f64::NAN);
+    let attribution = stage_sum / e2e_mean;
+    drill.check(
+        "per-stage attribution covers >=95% of e2e latency",
+        (0.95..=1.05).contains(&attribution),
+        format!(
+            "stage means sum {stage_sum:.4}ms vs e2e mean {e2e_mean:.4}ms ({:.1}%)",
+            attribution * 100.0
+        ),
+    );
+    drill.check(
+        "stats snapshot carries windows, versions and gauges",
+        stat("uptime_s").is_some_and(|v| v > 0.0)
+            && stat("win_requests").is_some_and(|v| v >= n as f64)
+            && stat("requests_v1").is_some_and(|v| v >= n as f64)
+            && stat("inflight").is_some()
+            && stat("breaker_open") == Some(0.0),
+        format!(
+            "uptime {:?}s, win_requests {:?}, requests_v1 {:?}",
+            stat("uptime_s"),
+            stat("win_requests"),
+            stat("requests_v1")
+        ),
     );
     latencies.sort_unstable();
     let pct = |p: f64| -> f64 {
@@ -265,11 +322,13 @@ fn main() {
         format!("p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms, {qps:.0} req/s"),
     );
 
-    // Phase 2: bitwise-identical responses at OOD_THREADS={1,4}.
+    // Phase 2: bitwise-identical responses at OOD_THREADS={1,4} — with
+    // timing requested on every line, so observability provably never
+    // perturbs outputs.
     let digest_at = |threads: usize| {
         tensor::par::set_threads(threads);
         let server = start_server(&spec, &ck1, config.clone());
-        let (digest, _, done) = replay(&server, &graphs);
+        let (digest, _, done, _) = replay(&server, &graphs);
         server.shutdown();
         (digest, done)
     };
@@ -277,7 +336,7 @@ fn main() {
     let (d4, done4) = digest_at(4);
     tensor::par::set_threads(tensor::par::max_threads());
     drill.check(
-        "responses bitwise-identical at OOD_THREADS={1,4}",
+        "responses bitwise-identical at OOD_THREADS={1,4} with timing enabled",
         d1 == d4 && d1 == clean_digest && done1 == n && done4 == n,
         format!("digest t1 {d1:#018x} vs t4 {d4:#018x} vs default {clean_digest:#018x}"),
     );
@@ -330,6 +389,31 @@ fn main() {
     for i in 0..6 {
         server.submit_line(&graph_line(&format!("flood{i}"), graphs[1], 1), &tx);
     }
+    // Mid-flood introspection: the executor is stalled and the queue is
+    // full, but `stats` is answered out-of-band at admission.
+    let probe_t0 = Instant::now();
+    let mid = ask(&server, r#"{"op":"stats","id":"mid-flood"}"#);
+    let probe_ms = probe_t0.elapsed().as_secs_f64() * 1e3;
+    let mid_stat = |key: &str| {
+        mid.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(f64::NAN, |(_, v)| *v)
+    };
+    drill.check(
+        "stats answers out-of-band during queue flood",
+        mid.status == Status::Ok
+            && probe_ms < 250.0
+            && mid_stat("queue_depth") >= 1.0
+            && mid_stat("inflight") >= 1.0
+            && mid_stat("win_shed") >= 1.0,
+        format!(
+            "answered in {probe_ms:.1}ms, queue_depth {} inflight {} win_shed {}",
+            mid_stat("queue_depth"),
+            mid_stat("inflight"),
+            mid_stat("win_shed")
+        ),
+    );
     let responses: Vec<Response> = (0..7)
         .map(|_| rx.recv_timeout(Duration::from_secs(60)).expect("response"))
         .collect();
@@ -473,14 +557,29 @@ fn main() {
         format!("hist p95 {:?}ms", hist_p95),
     );
     drill.check(
+        "per-stage histograms in telemetry",
+        has("serve/stage_queue_ms")
+            && has("serve/stage_assemble_ms")
+            && has("serve/stage_compute_ms")
+            && has("serve/stage_write_ms"),
+        "serve/stage_{queue,assemble,compute,write}_ms".to_string(),
+    );
+    let stats_events = events
+        .iter()
+        .filter(|e| e.name == trace::names::SERVE_STATS)
+        .count();
+    drill.check(
         "lifecycle events in telemetry",
         has(trace::names::SERVE_SUMMARY)
             && has(trace::names::MODEL_RELOAD)
             && has("serve_breaker_open")
             && has("model_reload_failed")
-            && has("serve_drain"),
-        "serve_summary, model_reload, serve_breaker_open, model_reload_failed, serve_drain"
-            .to_string(),
+            && has("serve_drain")
+            && stats_events > 0,
+        format!(
+            "serve_summary, model_reload, serve_breaker_open, model_reload_failed, serve_drain, \
+             {stats_events} serve_stats"
+        ),
     );
 
     // Persist the verdict for the trajectory.
@@ -491,7 +590,9 @@ fn main() {
     metrics.set("latency_p95_ms", p95);
     metrics.set("latency_p99_ms", p99);
     metrics.set("qps", qps);
+    metrics.set("stage_attribution_pct", attribution * 100.0);
     metrics.set_meta("threads", launch_threads.to_string());
+    metrics.set_meta("pool", tensor::pool::enabled().to_string());
     if let Err(e) = metrics.save("results/serve_drill.json") {
         eprintln!("cannot save results/serve_drill.json: {e}");
     }

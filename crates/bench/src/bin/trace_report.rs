@@ -137,6 +137,57 @@ fn render(a: &TraceAnalysis, trace_name: &str, top: usize) -> String {
         kv_section(&mut out, "Memory engine", mem);
     }
 
+    // ---- serving stages ----
+    if let Some(stats) = a.serve_stats.last() {
+        let f = |key: &str| stats.field(key).and_then(|v| v.as_f64());
+        out.push_str("## Serving stages (rolling window)\n\n");
+        out.push_str(&format!(
+            "{} `serve_stats` snapshots; last window covers {:.0}s with \
+             {:.0} requests ({:.0} ok / {:.0} shed / {:.0} timeout / {:.0} \
+             degraded) at {:.1} req/s.\n\n",
+            a.serve_stats.len(),
+            f("win_secs").unwrap_or(0.0),
+            f("win_requests").unwrap_or(0.0),
+            f("win_ok").unwrap_or(0.0),
+            f("win_shed").unwrap_or(0.0),
+            f("win_timeout").unwrap_or(0.0),
+            f("win_degraded").unwrap_or(0.0),
+            f("win_qps").unwrap_or(0.0),
+        ));
+        out.push_str("| stage | count | mean | p50 | p95 | p99 |\n|---|---|---|---|---|---|\n");
+        let stage_row = |out: &mut String, label: &str, prefix: &str| {
+            if let Some(count) = f(&format!("{prefix}_count")) {
+                let cell = |k: &str| {
+                    f(&format!("{prefix}_{k}_ms"))
+                        .map(|x| format!("{x:.4} ms"))
+                        .unwrap_or_else(|| "—".into())
+                };
+                out.push_str(&format!(
+                    "| {label} | {count:.0} | {} | {} | {} | {} |\n",
+                    cell("mean"),
+                    cell("p50"),
+                    cell("p95"),
+                    cell("p99")
+                ));
+            }
+        };
+        for name in ["queue", "assemble", "compute", "write"] {
+            stage_row(&mut out, name, &format!("stage_{name}"));
+        }
+        stage_row(&mut out, "**end-to-end**", "win_latency");
+        let stage_sum: f64 = ["queue", "assemble", "compute", "write"]
+            .iter()
+            .filter_map(|n| f(&format!("stage_{n}_mean_ms")))
+            .sum();
+        if let Some(e2e) = f("win_latency_mean_ms").filter(|v| *v > 0.0) {
+            out.push_str(&format!(
+                "\nStage means attribute {:.1}% of the end-to-end window mean.\n",
+                stage_sum / e2e * 100.0
+            ));
+        }
+        out.push('\n');
+    }
+
     // ---- metrics ----
     if !a.counters.is_empty() || !a.gauges.is_empty() {
         out.push_str("## Final metric values\n\n| metric | value |\n|---|---|\n");

@@ -27,6 +27,9 @@ fn usage() -> ! {
          \x20 --queue N           admission-queue capacity (default 64)\n\
          \x20 --batch N           max coalesced batch size (default 8)\n\
          \x20 --deadline-ms N     default per-request deadline (default 1000)\n\
+         \x20 --stats-interval-ms N  period of `serve_stats` telemetry\n\
+         \x20                     snapshots (default 1000)\n\
+         \x20 --window-secs N     rolling stats window length (default 60)\n\
          \x20 --telemetry PATH    also write trace events to a JSONL file"
     );
     std::process::exit(2);
@@ -105,6 +108,8 @@ fn main() {
         queue_capacity: flags.get_usize("queue", 64),
         max_batch: flags.get_usize("batch", 8),
         default_deadline_ms: flags.get_usize("deadline-ms", 1000) as u64,
+        stats_interval_ms: flags.get_usize("stats-interval-ms", 1000) as u64,
+        window_secs: flags.get_usize("window-secs", 60) as u64,
         ..ServeConfig::default()
     };
 

@@ -43,6 +43,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

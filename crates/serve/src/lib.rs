@@ -18,6 +18,11 @@
 //!   previous version serving.
 //! - **Graceful drain** — a `drain` request (or EOF on stdin) answers
 //!   everything already admitted, then shuts down.
+//! - **Live observability** — per-request stage tracing (queue / assemble
+//!   / compute / write, optional `timing` object on the wire), rolling-
+//!   window quantiles and rates ([`stats`]), admin `stats`/`health`
+//!   probes answered ahead of the batch queue, and a periodic
+//!   `serve_stats` telemetry event for dashboards (`serve_top`).
 //!
 //! Batching is safe because per-graph outputs are bitwise-independent of
 //! batch composition (eval-mode batch norm uses running statistics and all
@@ -29,9 +34,11 @@ pub mod json;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod stats;
 
 pub use protocol::{
-    best_effort_id, parse_request, InferRequest, Limits, Request, Response, Status,
+    best_effort_id, parse_request, InferRequest, Limits, Request, Response, StageTiming, Status,
 };
 pub use registry::{checkpoint_from_model, restore_into, ModelEntry, ModelSpec, Registry};
 pub use server::{FaultInjector, ModelMeta, ServeConfig, ServeStats, Server};
+pub use stats::{ServeWindows, STAGE_NAMES};

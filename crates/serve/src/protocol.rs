@@ -4,11 +4,17 @@
 //! Requests (`op` selects the operation):
 //!
 //! * `infer` — `{"op":"infer","id":"r1","model":"default","nodes":N,
-//!   "edges":[[s,d],…],"features":[f,…],"deadline_ms":250}`. Edges are
-//!   **directed** pairs (send both orientations for an undirected graph);
-//!   `features` is the row-major `[N, feature_dim]` node-feature matrix.
-//! * `health` / `ready` / `stats` — liveness, readiness and counter probes,
-//!   answered at admission without queueing.
+//!   "edges":[[s,d],…],"features":[f,…],"deadline_ms":250,"timing":true}`.
+//!   Edges are **directed** pairs (send both orientations for an
+//!   undirected graph); `features` is the row-major `[N, feature_dim]`
+//!   node-feature matrix. With `"timing":true` the `ok` response carries a
+//!   per-stage latency breakdown (see [`StageTiming`]).
+//! * `health` / `ready` / `stats` — liveness, readiness and introspection
+//!   probes, answered at admission **ahead of the batch queue** so they
+//!   work even when the data path is saturated. `health` reports a
+//!   `state` of `ok`/`degraded`/`draining`; `stats` returns a snapshot of
+//!   uptime, queue depth, in-flight count, rolling-window rates and
+//!   per-stage quantiles, per-version request counts and breaker state.
 //! * `reload` — `{"op":"reload","model":"default","path":"…"}` swaps the
 //!   named registry entry to a new checkpoint, in queue order, without
 //!   dropping in-flight requests.
@@ -69,6 +75,9 @@ pub struct InferRequest {
     pub features: Vec<f32>,
     /// Per-request deadline; the server default applies when absent.
     pub deadline_ms: Option<u64>,
+    /// When true the response carries a per-stage `timing` object.
+    /// Observability-only: it never changes scheduling or outputs.
+    pub timing: bool,
 }
 
 impl InferRequest {
@@ -163,6 +172,7 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, String> {
     let mut edges = None;
     let mut features = None;
     let mut deadline_ms = None;
+    let mut timing = false;
     for (key, value) in pairs {
         match key.as_str() {
             "op" => op = Some(req_str(&value, "op")?),
@@ -182,6 +192,7 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, String> {
             "deadline_ms" => {
                 deadline_ms = Some(value.as_uint().ok_or("`deadline_ms` must be an integer")?)
             }
+            "timing" => timing = value.as_bool().ok_or("`timing` must be a boolean")?,
             other => return Err(format!("unknown field `{other}`")),
         }
     }
@@ -225,6 +236,7 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, String> {
                 edges,
                 features,
                 deadline_ms,
+                timing,
             }))
         }
         "health" => Ok(Request::Health { id }),
@@ -314,6 +326,28 @@ impl Status {
     }
 }
 
+/// Per-stage latency breakdown for one served request, in microseconds.
+/// The four stages partition the admitted→reply-written interval, so
+/// their sum equals the end-to-end latency by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Admitted → popped by the executor (queue wait).
+    pub queue_us: u64,
+    /// Popped → forward start (batch coalescing + padding + setup).
+    pub assemble_us: u64,
+    /// Forward pass (model compute, including retries).
+    pub compute_us: u64,
+    /// Forward end → response constructed (postprocess + writeback).
+    pub write_us: u64,
+}
+
+impl StageTiming {
+    /// Sum of the four stages — the end-to-end latency.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.assemble_us + self.compute_us + self.write_us
+    }
+}
+
 /// One response line.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -331,6 +365,10 @@ pub struct Response {
     pub model_version: Option<u64>,
     /// Queue-to-reply latency in microseconds.
     pub latency_us: Option<u64>,
+    /// Per-stage breakdown, present when the request asked for `timing`.
+    pub timing: Option<StageTiming>,
+    /// Server state string (`health` responses: ok/degraded/draining).
+    pub state: Option<String>,
     /// Extra numeric fields (probe and stats payloads).
     pub extra: Vec<(String, f64)>,
 }
@@ -345,6 +383,8 @@ impl Response {
             error: None,
             model_version: None,
             latency_us: None,
+            timing: None,
+            state: None,
             extra: Vec::new(),
         }
     }
@@ -373,6 +413,16 @@ impl Response {
         }
         if let Some(us) = self.latency_us {
             out.push_str(&format!(",\"latency_us\":{us}"));
+        }
+        if let Some(t) = &self.timing {
+            out.push_str(&format!(
+                ",\"timing\":{{\"queue_us\":{},\"assemble_us\":{},\"compute_us\":{},\"write_us\":{},\"total_us\":{}}}",
+                t.queue_us, t.assemble_us, t.compute_us, t.write_us, t.total_us()
+            ));
+        }
+        if let Some(s) = &self.state {
+            out.push_str(",\"state\":");
+            trace::json::write_str(&mut out, s);
         }
         if let Some(e) = &self.error {
             out.push_str(",\"error\":");
@@ -420,6 +470,48 @@ mod tests {
         assert_eq!(req.edges, vec![(0, 1), (1, 0)]);
         assert_eq!(req.feature_dim(), 2);
         assert_eq!(req.deadline_ms, None);
+        assert!(!req.timing);
+    }
+
+    #[test]
+    fn timing_flag_parses_and_must_be_boolean() {
+        let line = r#"{"op":"infer","id":"r1","nodes":1,"features":[1],"timing":true}"#;
+        let Request::Infer(req) = parse_request(line, &Limits::default()).unwrap() else {
+            panic!("not infer")
+        };
+        assert!(req.timing);
+        let bad = r#"{"op":"infer","id":"r1","nodes":1,"features":[1],"timing":1}"#;
+        let err = parse_request(bad, &Limits::default()).unwrap_err();
+        assert!(err.contains("boolean"), "{err}");
+    }
+
+    #[test]
+    fn stage_timing_serializes_with_exact_total() {
+        let t = StageTiming {
+            queue_us: 10,
+            assemble_us: 2,
+            compute_us: 30,
+            write_us: 3,
+        };
+        assert_eq!(t.total_us(), 45);
+        let mut r = Response::new("r1", Status::Ok);
+        r.latency_us = Some(t.total_us());
+        r.timing = Some(t);
+        let line = r.to_json();
+        assert!(
+            line.contains(
+                "\"timing\":{\"queue_us\":10,\"assemble_us\":2,\"compute_us\":30,\"write_us\":3,\"total_us\":45}"
+            ),
+            "{line}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn state_serializes_on_health_responses() {
+        let mut r = Response::new("h1", Status::Ok);
+        r.state = Some("degraded".into());
+        assert!(r.to_json().contains("\"state\":\"degraded\""));
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! through the same queue, so a hot checkpoint swap never drops in-flight
 //! requests and drain answers everything already admitted.
 
-use crate::protocol::{InferRequest, Limits, Request, Response, Status};
+use crate::protocol::{InferRequest, Limits, Request, Response, StageTiming, Status};
 use crate::registry::{ModelEntry, ModelSpec, Registry};
+use crate::stats::ServeWindows;
 use graph::{Graph, GraphBatch, Label, TaskType};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,6 +55,11 @@ pub struct ServeConfig {
     /// Batches served `degraded` (without a forward) while the breaker
     /// is open.
     pub breaker_cooldown: usize,
+    /// Interval between periodic `serve_stats` telemetry events (emitted
+    /// even while the queue is idle). Observability-only.
+    pub stats_interval_ms: u64,
+    /// Span of the rolling stats windows, in seconds.
+    pub window_secs: u64,
     /// Request validation limits.
     pub limits: Limits,
 }
@@ -68,6 +74,8 @@ impl Default for ServeConfig {
             retry_backoff_ms: 5,
             breaker_threshold: 3,
             breaker_cooldown: 4,
+            stats_interval_ms: 1000,
+            window_secs: 60,
             limits: Limits::default(),
         }
     }
@@ -95,6 +103,12 @@ pub struct ServeStats {
     pub batches: AtomicU64,
     /// Forward-pass retries.
     pub retries: AtomicU64,
+    /// Inference requests admitted but not yet answered (a gauge, not a
+    /// cumulative counter — excluded from [`ServeStats::snapshot`]).
+    pub inflight: AtomicU64,
+    /// Whether the circuit breaker is currently open (mirrored from the
+    /// executor for admission-side `health`/`stats` probes).
+    pub breaker_open: AtomicBool,
 }
 
 impl ServeStats {
@@ -191,6 +205,7 @@ pub struct Server {
     draining: Arc<AtomicBool>,
     ready: Arc<AtomicBool>,
     fault: Arc<FaultInjector>,
+    windows: Arc<Mutex<ServeWindows>>,
     executor: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -211,6 +226,7 @@ impl Server {
         let draining = Arc::new(AtomicBool::new(false));
         let ready = Arc::new(AtomicBool::new(false));
         let fault = Arc::new(FaultInjector::default());
+        let windows = Arc::new(Mutex::new(ServeWindows::new(config.window_secs)));
         let (load_tx, load_rx) = std::sync::mpsc::channel::<Result<(), String>>();
         let executor = {
             let shared = shared.clone();
@@ -218,6 +234,7 @@ impl Server {
             let meta = meta.clone();
             let ready = ready.clone();
             let fault = fault.clone();
+            let windows = windows.clone();
             let config = config.clone();
             std::thread::Builder::new()
                 .name("oodgnn-serve-exec".into())
@@ -249,9 +266,11 @@ impl Server {
                         stats,
                         meta,
                         fault,
+                        windows,
                         config,
                         consecutive_failures: 0,
                         breaker_open_remaining: 0,
+                        last_stats: Instant::now(),
                     }
                     .run();
                 })
@@ -273,6 +292,7 @@ impl Server {
             draining,
             ready,
             fault,
+            windows,
             executor: Mutex::new(Some(executor)),
         })
     }
@@ -322,7 +342,17 @@ impl Server {
         };
         match request {
             Request::Health { id } => {
-                let _ = tx.send(Response::new(id, Status::Ok).with_extra("healthy", 1.0));
+                let state = if self.draining.load(Ordering::Relaxed) {
+                    "draining"
+                } else if self.stats.breaker_open.load(Ordering::Relaxed) {
+                    "degraded"
+                } else {
+                    "ok"
+                };
+                let mut r = Response::new(id, Status::Ok)
+                    .with_extra("healthy", if state == "ok" { 1.0 } else { 0.0 });
+                r.state = Some(state.to_string());
+                let _ = tx.send(r);
             }
             Request::Ready { id } => {
                 let ready =
@@ -333,18 +363,46 @@ impl Server {
                 );
             }
             Request::Stats { id } => {
+                // Answered right here at admission — never queued — so the
+                // snapshot arrives even while the data path is saturated.
                 let mut r = Response::new(id, Status::Ok);
                 for (k, v) in self.stats.snapshot() {
                     r = r.with_extra(k, v as f64);
                 }
+                let depth = self
+                    .shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .len();
+                r = r.with_extra("queue_depth", depth as f64);
                 r = r.with_extra(
-                    "queue_depth",
-                    self.shared
-                        .queue
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .len() as f64,
+                    "inflight",
+                    self.stats.inflight.load(Ordering::Relaxed) as f64,
                 );
+                r = r.with_extra(
+                    "breaker_open",
+                    if self.stats.breaker_open.load(Ordering::Relaxed) {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                );
+                r = r.with_extra(
+                    "draining",
+                    if self.draining.load(Ordering::Relaxed) {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                );
+                let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+                r = r.with_extra("uptime_s", w.uptime_s());
+                let now = w.now_us();
+                for (k, v) in w.rows(now) {
+                    r = r.with_extra(&k, v);
+                }
+                drop(w);
                 let _ = tx.send(r);
             }
             Request::Drain { id } => {
@@ -406,6 +464,12 @@ impl Server {
         }
         q.push_back(Work::Infer(job));
         drop(q);
+        self.stats.inflight.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+            let now = w.now_us();
+            w.record_admitted(now, meta.version);
+        }
         self.shared.cv.notify_one();
     }
 
@@ -425,6 +489,11 @@ impl Server {
     fn respond_shed(&self, tx: &Sender<Response>, id: String, cause: &str) {
         self.stats.shed.fetch_add(1, Ordering::Relaxed);
         trace::metrics::counter_add("serve/shed", 1);
+        {
+            let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+            let now = w.now_us();
+            w.record_shed(now);
+        }
         let mut r = Response::new(id, Status::Shed);
         r.error = Some(cause.to_string());
         let _ = tx.send(r);
@@ -466,20 +535,39 @@ struct Executor {
     stats: Arc<ServeStats>,
     meta: Arc<Mutex<HashMap<String, ModelMeta>>>,
     fault: Arc<FaultInjector>,
+    windows: Arc<Mutex<ServeWindows>>,
     config: ServeConfig,
     consecutive_failures: usize,
     breaker_open_remaining: usize,
+    last_stats: Instant,
 }
 
 impl Executor {
     fn run(mut self) {
+        let interval = Duration::from_millis(self.config.stats_interval_ms.max(1));
         loop {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             let work = loop {
                 if let Some(w) = q.pop_front() {
                     break w;
                 }
-                q = self.shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                // Idle: wake on new work or on the stats tick, whichever
+                // comes first, so `serve_stats` flows even from a quiet
+                // server.
+                let elapsed = self.last_stats.elapsed();
+                if elapsed >= interval {
+                    drop(q);
+                    self.last_stats = Instant::now();
+                    self.emit_stats(0);
+                    q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .cv
+                    .wait_timeout(q, interval - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
             };
             match work {
                 Work::Infer(first) => {
@@ -495,8 +583,17 @@ impl Executor {
                             _ => break,
                         }
                     }
+                    let depth = q.len();
                     drop(q);
-                    self.process_batch(batch);
+                    // The assembly stamp: queue wait ends (and batch
+                    // assembly begins) for every job in the batch here.
+                    let assembled_at = Instant::now();
+                    {
+                        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+                        let now = w.now_us();
+                        w.record_queue_depth(now, depth);
+                    }
+                    self.process_batch(batch, assembled_at);
                 }
                 Work::Reload {
                     id,
@@ -513,6 +610,7 @@ impl Executor {
                     // of new inference stopped when the drain flag was
                     // set. Answer the drain and stop.
                     drop(q);
+                    self.emit_stats(0);
                     self.emit_summary();
                     let _ = tx.send(
                         Response::new(id, Status::Ok)
@@ -523,7 +621,48 @@ impl Executor {
                     return;
                 }
             }
+            if self.last_stats.elapsed() >= interval {
+                self.last_stats = Instant::now();
+                let depth = self
+                    .shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .len();
+                self.emit_stats(depth);
+            }
         }
+    }
+
+    /// Record a queue-depth sample and emit one `serve_stats` telemetry
+    /// event carrying the full rolling-window snapshot. Observability
+    /// only: no control flow depends on anything here.
+    fn emit_stats(&self, queue_depth: usize) {
+        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+        let now = w.now_us();
+        w.record_queue_depth(now, queue_depth);
+        if !trace::enabled() {
+            return;
+        }
+        let uptime = w.uptime_s();
+        let rows = w.rows(now);
+        drop(w);
+        let mut fields: Vec<(&str, trace::Value)> = vec![
+            ("uptime_s", uptime.into()),
+            ("queue_depth", queue_depth.into()),
+            (
+                "inflight",
+                self.stats.inflight.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "breaker_open",
+                self.stats.breaker_open.load(Ordering::Relaxed).into(),
+            ),
+        ];
+        for (k, v) in &rows {
+            fields.push((k.as_str(), (*v).into()));
+        }
+        trace::emit_event(trace::names::SERVE_STATS, &fields);
     }
 
     fn process_reload(&mut self, id: String, model: &str, path: &PathBuf, tx: &Sender<Response>) {
@@ -562,7 +701,7 @@ impl Executor {
         }
     }
 
-    fn process_batch(&mut self, jobs: Vec<InferJob>) {
+    fn process_batch(&mut self, jobs: Vec<InferJob>, assembled_at: Instant) {
         if let Some(ms) = self.take_slow_stall() {
             std::thread::sleep(Duration::from_millis(ms));
         }
@@ -572,7 +711,13 @@ impl Executor {
         let (live, expired): (Vec<_>, Vec<_>) = jobs.into_iter().partition(|j| j.deadline >= now);
         for job in expired {
             self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
             trace::metrics::counter_add("serve/timeout", 1);
+            {
+                let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+                let ts = w.now_us();
+                w.record_timeout(ts);
+            }
             let mut r = Response::new(job.req.id.clone(), Status::Timeout);
             r.error = Some("deadline expired before execution".into());
             let _ = job.tx.send(r);
@@ -586,7 +731,7 @@ impl Executor {
             groups.entry(job.req.model.clone()).or_default().push(job);
         }
         for (model, group) in groups {
-            self.run_group(&model, group);
+            self.run_group(&model, group, assembled_at);
         }
     }
 
@@ -595,13 +740,14 @@ impl Executor {
             .then(|| self.fault.slow_ms.load(Ordering::Relaxed))
     }
 
-    fn run_group(&mut self, model: &str, jobs: Vec<InferJob>) {
+    fn run_group(&mut self, model: &str, jobs: Vec<InferJob>, assembled_at: Instant) {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         trace::metrics::observe("serve/batch_size", jobs.len() as f64);
         let Some(entry) = self.registry.get_mut(model) else {
             // Unreachable in practice (admission checked), kept as a
             // structured error rather than a panic.
             for job in jobs {
+                self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
                 let _ = job
                     .tx
                     .send(Response::error(job.req.id.clone(), "model disappeared"));
@@ -610,12 +756,22 @@ impl Executor {
         };
         if self.breaker_open_remaining > 0 {
             self.breaker_open_remaining -= 1;
+            if self.breaker_open_remaining == 0 {
+                self.stats.breaker_open.store(false, Ordering::Relaxed);
+            }
             let task = entry.spec.task;
             let version = entry.version;
-            Self::respond_degraded_all(&self.stats, jobs, &task, version, "circuit breaker open");
+            Self::respond_degraded_all(
+                &self.stats,
+                &self.windows,
+                jobs,
+                &task,
+                version,
+                "circuit breaker open",
+            );
             return;
         }
-        let outputs =
+        let (outputs, forward_start, forward_end) =
             Self::forward_with_retries(entry, &jobs, &self.config, &self.fault, &self.stats);
         let task = entry.spec.task;
         let version = entry.version;
@@ -626,18 +782,52 @@ impl Executor {
                     let row = out.row(i);
                     if row.iter().all(|v| v.is_finite()) {
                         self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                        self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
                         trace::metrics::counter_add("serve/ok", 1);
-                        let latency = job.enqueued.elapsed();
-                        trace::metrics::observe("serve/latency_ms", latency.as_secs_f64() * 1e3);
                         let mut r = Response::new(job.req.id.clone(), Status::Ok);
                         r.outputs = Some(postprocess(&task, row));
                         r.model_version = Some(version);
-                        r.latency_us = Some(latency.as_micros() as u64);
+                        // Stage stamps partition admitted → reply-written,
+                        // so the reported latency is exactly their sum.
+                        let replied = Instant::now();
+                        let timing = StageTiming {
+                            queue_us: duration_us(job.enqueued, assembled_at),
+                            assemble_us: duration_us(assembled_at, forward_start),
+                            compute_us: duration_us(forward_start, forward_end),
+                            write_us: duration_us(forward_end, replied),
+                        };
+                        r.latency_us = Some(timing.total_us());
+                        if job.req.timing {
+                            r.timing = Some(timing);
+                        }
+                        trace::metrics::observe("serve/latency_ms", timing.total_us() as f64 / 1e3);
+                        trace::metrics::observe(
+                            "serve/stage_queue_ms",
+                            timing.queue_us as f64 / 1e3,
+                        );
+                        trace::metrics::observe(
+                            "serve/stage_assemble_ms",
+                            timing.assemble_us as f64 / 1e3,
+                        );
+                        trace::metrics::observe(
+                            "serve/stage_compute_ms",
+                            timing.compute_us as f64 / 1e3,
+                        );
+                        trace::metrics::observe(
+                            "serve/stage_write_ms",
+                            timing.write_us as f64 / 1e3,
+                        );
+                        {
+                            let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+                            let ts = w.now_us();
+                            w.record_ok(ts, &timing);
+                        }
                         let _ = job.tx.send(r);
                     } else {
                         degraded = true;
                         Self::respond_degraded(
                             &self.stats,
+                            &self.windows,
                             &job,
                             &task,
                             version,
@@ -650,6 +840,7 @@ impl Executor {
             None => {
                 Self::respond_degraded_all(
                     &self.stats,
+                    &self.windows,
                     jobs,
                     &task,
                     version,
@@ -663,6 +854,7 @@ impl Executor {
             if self.consecutive_failures >= self.config.breaker_threshold {
                 self.breaker_open_remaining = self.config.breaker_cooldown;
                 self.consecutive_failures = 0;
+                self.stats.breaker_open.store(true, Ordering::Relaxed);
                 trace::emit_event(
                     "serve_breaker_open",
                     &[("cooldown_batches", self.config.breaker_cooldown.into())],
@@ -674,16 +866,19 @@ impl Executor {
     }
 
     /// Run the padded batch forward, retrying with backoff on panic or a
-    /// fully non-finite result. Returns `None` when every attempt failed;
-    /// otherwise the `[padded, out_dim]` raw output (rows may still be
-    /// non-finite — the caller degrades per row).
+    /// fully non-finite result. Returns the output (`None` when every
+    /// attempt failed; rows may still be non-finite — the caller degrades
+    /// per row) plus the forward start/end stamps: start is taken after
+    /// graph building and padding (so assembly is attributed to the
+    /// `assemble` stage), end after the last attempt (retries and backoff
+    /// are compute time).
     fn forward_with_retries(
         entry: &mut ModelEntry,
         jobs: &[InferJob],
         config: &ServeConfig,
         fault: &Arc<FaultInjector>,
         stats: &Arc<ServeStats>,
-    ) -> Option<Tensor> {
+    ) -> (Option<Tensor>, Instant, Instant) {
         let dim = entry.spec.in_dim;
         let mut graphs: Vec<Graph> = jobs
             .iter()
@@ -705,6 +900,7 @@ impl Executor {
         while graphs.len() < padded {
             graphs.push(Graph::new(1, Tensor::zeros([1, dim]), Label::Class(0)));
         }
+        let forward_start = Instant::now();
         let mut attempt = 0;
         loop {
             let result = catch_unwind(AssertUnwindSafe(|| {
@@ -730,8 +926,9 @@ impl Executor {
                 .as_ref()
                 .is_some_and(|t| (0..jobs.len()).any(|i| t.row(i).iter().all(|v| v.is_finite())));
             if usable || attempt >= config.max_retries {
-                return out
-                    .filter(|t| (0..jobs.len()).any(|i| t.row(i).iter().all(|v| v.is_finite())));
+                let out =
+                    out.filter(|t| (0..jobs.len()).any(|i| t.row(i).iter().all(|v| v.is_finite())));
+                return (out, forward_start, Instant::now());
             }
             attempt += 1;
             stats.retries.fetch_add(1, Ordering::Relaxed);
@@ -744,13 +941,20 @@ impl Executor {
 
     fn respond_degraded(
         stats: &ServeStats,
+        windows: &Mutex<ServeWindows>,
         job: &InferJob,
         task: &TaskType,
         version: u64,
         cause: &str,
     ) {
         stats.degraded.fetch_add(1, Ordering::Relaxed);
+        stats.inflight.fetch_sub(1, Ordering::Relaxed);
         trace::metrics::counter_add("serve/degraded", 1);
+        {
+            let mut w = windows.lock().unwrap_or_else(|e| e.into_inner());
+            let ts = w.now_us();
+            w.record_degraded(ts);
+        }
         let mut r = Response::new(job.req.id.clone(), Status::Degraded);
         r.outputs = Some(uniform_fallback(task));
         r.error = Some(cause.to_string());
@@ -761,13 +965,14 @@ impl Executor {
 
     fn respond_degraded_all(
         stats: &ServeStats,
+        windows: &Mutex<ServeWindows>,
         jobs: Vec<InferJob>,
         task: &TaskType,
         version: u64,
         cause: &str,
     ) {
         for job in jobs {
-            Self::respond_degraded(stats, &job, task, version, cause);
+            Self::respond_degraded(stats, windows, &job, task, version, cause);
         }
     }
 
@@ -783,6 +988,12 @@ impl Executor {
         trace::emit_event(trace::names::SERVE_SUMMARY, &fields);
         trace::metrics::flush();
     }
+}
+
+/// Microseconds from `from` to `to`, saturating to zero when the stamps
+/// are out of order (sub-microsecond scheduling noise).
+fn duration_us(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
 }
 
 /// Map raw head outputs to the wire payload: softmax probabilities for

@@ -1,0 +1,250 @@
+//! Rolling-window serving statistics: the live state behind the admin
+//! `stats` protocol and the periodic `serve_stats` telemetry event.
+//!
+//! Built on [`trace::window`]: fixed-capacity ring buffers give
+//! last-N-seconds quantiles and rates without unbounded memory, and the
+//! record path never allocates after warmup (proven by the
+//! counting-allocator guard in `tests/stage_overhead.rs`). All methods
+//! take an explicit `ts_us` timestamp (microseconds since [`ServeWindows`]
+//! construction) so recording stays clock-free and replayable in tests.
+//!
+//! Everything here is observability-only: nothing feeds back into
+//! admission, batching, or the forward pass, so the bitwise-determinism
+//! contract is untouched.
+
+use crate::protocol::StageTiming;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use trace::window::{RateWindow, SampleWindow};
+
+/// Stage names, in lifecycle order (see [`StageTiming`]).
+pub const STAGE_NAMES: [&str; 4] = ["queue", "assemble", "compute", "write"];
+
+/// Samples retained per latency window (oldest overwritten beyond this).
+const SAMPLE_CAPACITY: usize = 4096;
+/// Samples retained in the queue-depth window.
+const DEPTH_CAPACITY: usize = 1024;
+
+/// Rolling-window serving state: per-stage and end-to-end latency
+/// windows, outcome rate windows, a queue-depth window, and per-version
+/// request counts. Shared behind a mutex between admission threads and
+/// the executor; every critical section is a handful of ring-buffer
+/// writes.
+pub struct ServeWindows {
+    epoch: Instant,
+    window_secs: u64,
+    stages: [SampleWindow; 4],
+    e2e: SampleWindow,
+    queue_depth: SampleWindow,
+    requests: RateWindow,
+    ok: RateWindow,
+    shed: RateWindow,
+    timeout: RateWindow,
+    degraded: RateWindow,
+    per_version: BTreeMap<u64, u64>,
+    scratch: Vec<f64>,
+}
+
+impl ServeWindows {
+    /// Windows covering the last `window_secs` seconds.
+    pub fn new(window_secs: u64) -> Self {
+        let secs = window_secs.max(1);
+        let window_us = secs * 1_000_000;
+        let sample = || SampleWindow::new(SAMPLE_CAPACITY, window_us);
+        let rate = || RateWindow::new(secs as usize);
+        ServeWindows {
+            epoch: Instant::now(),
+            window_secs: secs,
+            stages: [sample(), sample(), sample(), sample()],
+            e2e: sample(),
+            queue_depth: SampleWindow::new(DEPTH_CAPACITY, window_us),
+            requests: rate(),
+            ok: rate(),
+            shed: rate(),
+            timeout: rate(),
+            degraded: rate(),
+            per_version: BTreeMap::new(),
+            scratch: Vec::with_capacity(SAMPLE_CAPACITY),
+        }
+    }
+
+    /// Microseconds since construction — the timestamp domain every
+    /// record method expects.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Seconds since construction.
+    pub fn uptime_s(&self) -> f64 {
+        self.now_us() as f64 / 1e6
+    }
+
+    /// An inference request was admitted to the queue against registry
+    /// `version`.
+    #[inline]
+    pub fn record_admitted(&mut self, ts_us: u64, version: u64) {
+        self.requests.record(ts_us, 1);
+        *self.per_version.entry(version).or_insert(0) += 1;
+    }
+
+    /// A request was shed at admission.
+    #[inline]
+    pub fn record_shed(&mut self, ts_us: u64) {
+        self.shed.record(ts_us, 1);
+    }
+
+    /// A request's deadline expired before execution.
+    #[inline]
+    pub fn record_timeout(&mut self, ts_us: u64) {
+        self.timeout.record(ts_us, 1);
+    }
+
+    /// A request was served the uniform fallback.
+    #[inline]
+    pub fn record_degraded(&mut self, ts_us: u64) {
+        self.degraded.record(ts_us, 1);
+    }
+
+    /// An `ok` response with its stage breakdown: each stage lands in its
+    /// own window (milliseconds) and the stage sum in the end-to-end one,
+    /// so window means preserve the stages-sum-to-total invariant.
+    #[inline]
+    pub fn record_ok(&mut self, ts_us: u64, timing: &StageTiming) {
+        self.ok.record(ts_us, 1);
+        let stage_us = [
+            timing.queue_us,
+            timing.assemble_us,
+            timing.compute_us,
+            timing.write_us,
+        ];
+        for (w, us) in self.stages.iter_mut().zip(stage_us) {
+            w.record(ts_us, us as f64 / 1e3);
+        }
+        self.e2e.record(ts_us, timing.total_us() as f64 / 1e3);
+    }
+
+    /// A queue-depth observation (sampled at batch pops and stats ticks).
+    #[inline]
+    pub fn record_queue_depth(&mut self, ts_us: u64, depth: usize) {
+        self.queue_depth.record(ts_us, depth as f64);
+    }
+
+    /// The full window snapshot as flat `(name, value)` rows — the shared
+    /// payload of the admin `stats` response and the `serve_stats`
+    /// telemetry event. Stage rows appear only for stages with samples in
+    /// the window.
+    pub fn rows(&mut self, now_us: u64) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = vec![
+            ("win_secs".into(), self.window_secs as f64),
+            ("win_qps".into(), self.requests.rate(now_us)),
+            ("win_requests".into(), self.requests.count(now_us) as f64),
+            ("win_ok".into(), self.ok.count(now_us) as f64),
+            ("win_shed".into(), self.shed.count(now_us) as f64),
+            ("win_timeout".into(), self.timeout.count(now_us) as f64),
+            ("win_degraded".into(), self.degraded.count(now_us) as f64),
+        ];
+        for (name, window) in STAGE_NAMES.iter().zip(self.stages.iter()) {
+            if let Some(s) = window.summary_with(now_us, &mut self.scratch) {
+                rows.push((format!("stage_{name}_count"), s.count as f64));
+                rows.push((format!("stage_{name}_mean_ms"), s.mean));
+                rows.push((format!("stage_{name}_p50_ms"), s.p50));
+                rows.push((format!("stage_{name}_p95_ms"), s.p95));
+                rows.push((format!("stage_{name}_p99_ms"), s.p99));
+            }
+        }
+        if let Some(s) = self.e2e.summary_with(now_us, &mut self.scratch) {
+            rows.push(("win_latency_count".into(), s.count as f64));
+            rows.push(("win_latency_mean_ms".into(), s.mean));
+            rows.push(("win_latency_p50_ms".into(), s.p50));
+            rows.push(("win_latency_p95_ms".into(), s.p95));
+            rows.push(("win_latency_p99_ms".into(), s.p99));
+        }
+        if let Some(s) = self.queue_depth.summary_with(now_us, &mut self.scratch) {
+            rows.push(("queue_depth_p95".into(), s.p95));
+            rows.push(("queue_depth_max".into(), s.max));
+        }
+        if let Some(peak) = self.queue_depth.high_water() {
+            rows.push(("queue_depth_peak".into(), peak));
+        }
+        for (version, count) in &self.per_version {
+            rows.push((format!("requests_v{version}"), *count as f64));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(queue: u64, assemble: u64, compute: u64, write: u64) -> StageTiming {
+        StageTiming {
+            queue_us: queue,
+            assemble_us: assemble,
+            compute_us: compute,
+            write_us: write,
+        }
+    }
+
+    fn row(rows: &[(String, f64)], name: &str) -> f64 {
+        rows.iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing row `{name}`"))
+            .1
+    }
+
+    #[test]
+    fn stage_means_sum_to_e2e_mean() {
+        let mut w = ServeWindows::new(60);
+        for i in 0..50u64 {
+            let ts = i * 1000;
+            w.record_admitted(ts, 1);
+            w.record_ok(ts, &timing(100 + i, 20, 300 + 2 * i, 10));
+        }
+        let now = 50_000;
+        let rows = w.rows(now);
+        let stage_sum: f64 = STAGE_NAMES
+            .iter()
+            .map(|n| row(&rows, &format!("stage_{n}_mean_ms")))
+            .sum();
+        let e2e = row(&rows, "win_latency_mean_ms");
+        assert!(
+            (stage_sum - e2e).abs() <= 1e-9 * e2e.max(1.0),
+            "stage sum {stage_sum} vs e2e {e2e}"
+        );
+        assert_eq!(row(&rows, "win_requests"), 50.0);
+        assert_eq!(row(&rows, "win_ok"), 50.0);
+        assert_eq!(row(&rows, "requests_v1"), 50.0);
+    }
+
+    #[test]
+    fn outcome_rates_and_depth_are_windowed() {
+        let mut w = ServeWindows::new(2);
+        w.record_shed(100);
+        w.record_timeout(200);
+        w.record_degraded(300);
+        w.record_queue_depth(400, 7);
+        w.record_queue_depth(500, 3);
+        let rows = w.rows(600);
+        assert_eq!(row(&rows, "win_shed"), 1.0);
+        assert_eq!(row(&rows, "win_timeout"), 1.0);
+        assert_eq!(row(&rows, "win_degraded"), 1.0);
+        assert_eq!(row(&rows, "queue_depth_max"), 7.0);
+        assert_eq!(row(&rows, "queue_depth_peak"), 7.0);
+        // Three seconds later the 2-second window has rolled past
+        // everything, but the high-water survives.
+        let rows = w.rows(3_600_000);
+        assert_eq!(row(&rows, "win_shed"), 0.0);
+        assert!(rows.iter().all(|(k, _)| k != "queue_depth_max"));
+        assert_eq!(row(&rows, "queue_depth_peak"), 7.0);
+    }
+
+    #[test]
+    fn stage_rows_absent_until_sampled() {
+        let mut w = ServeWindows::new(60);
+        let rows = w.rows(1000);
+        assert!(rows.iter().all(|(k, _)| !k.starts_with("stage_")));
+        assert_eq!(row(&rows, "win_qps"), 0.0);
+    }
+}

@@ -527,3 +527,187 @@ fn json_str(s: &str) -> String {
     trace::json::write_str(&mut out, s);
     out
 }
+
+/// Splice `"timing":true` into an infer line built by [`infer_line`].
+fn with_timing(line: &str) -> String {
+    line.replacen("{\"op\":\"infer\"", "{\"op\":\"infer\",\"timing\":true", 1)
+}
+
+/// Poll `health` until it reports `want` (the executor flips the breaker
+/// mirror just after sending the batch's responses).
+fn poll_health_state(server: &Server, want: &str) -> Response {
+    let mut last = ask(server, r#"{"op":"health","id":"hp"}"#);
+    for _ in 0..200 {
+        if last.state.as_deref() == Some(want) {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        last = ask(server, r#"{"op":"health","id":"hp"}"#);
+    }
+    panic!("health never reached `{want}`: {:?}", last.state);
+}
+
+fn extra(r: &Response, key: &str) -> f64 {
+    r.extra
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing extra `{key}` in {:?}", r.extra))
+        .1
+}
+
+#[test]
+fn timing_object_partitions_end_to_end_latency() {
+    let _g = lock();
+    let dir = scratch("timing");
+    let ck = dir.join("m.oods");
+    write_checkpoint(&ck, 1.0);
+    let server =
+        Server::start(ServeConfig::default(), vec![("default".into(), spec(), ck)]).unwrap();
+
+    // Without the flag, no timing object rides the wire.
+    let plain = ask(&server, &infer_line("p", 4, 2, None));
+    assert_eq!(plain.status, Status::Ok, "{:?}", plain.error);
+    assert!(plain.timing.is_none());
+
+    // With it, the four stages partition the reported latency exactly,
+    // and the outputs are bitwise-unchanged (observability never perturbs
+    // the data path).
+    let timed = ask(&server, &with_timing(&infer_line("t", 4, 2, None)));
+    assert_eq!(timed.status, Status::Ok, "{:?}", timed.error);
+    let t = timed.timing.expect("timing requested");
+    assert_eq!(Some(t.total_us()), timed.latency_us);
+    assert!(t.compute_us > 0, "{t:?}");
+    assert_eq!(
+        bits(timed.outputs.as_ref().unwrap()),
+        bits(plain.outputs.as_ref().unwrap()),
+        "timing flag changed the outputs"
+    );
+    let line = timed.to_json();
+    assert!(line.contains("\"timing\":{\"queue_us\":"), "{line}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_snapshot_reports_windows_versions_and_gauges() {
+    let _g = lock();
+    let dir = scratch("statswin");
+    let ck = dir.join("m.oods");
+    write_checkpoint(&ck, 1.0);
+    let server =
+        Server::start(ServeConfig::default(), vec![("default".into(), spec(), ck)]).unwrap();
+
+    for i in 0..6 {
+        let r = ask(&server, &infer_line(&format!("w{i}"), 4, i as u64, None));
+        assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    }
+    let s = ask(&server, r#"{"op":"stats","id":"s"}"#);
+    assert_eq!(s.status, Status::Ok);
+    assert_eq!(extra(&s, "ok"), 6.0);
+    assert_eq!(extra(&s, "inflight"), 0.0);
+    assert_eq!(extra(&s, "breaker_open"), 0.0);
+    assert_eq!(extra(&s, "draining"), 0.0);
+    assert!(extra(&s, "uptime_s") > 0.0);
+    assert_eq!(extra(&s, "win_requests"), 6.0);
+    assert_eq!(extra(&s, "win_ok"), 6.0);
+    assert!(extra(&s, "win_qps") > 0.0);
+    assert_eq!(extra(&s, "requests_v1"), 6.0);
+    assert_eq!(extra(&s, "win_latency_count"), 6.0);
+    // Per-stage window means partition the end-to-end window mean.
+    let stage_sum: f64 = ["queue", "assemble", "compute", "write"]
+        .iter()
+        .map(|n| extra(&s, &format!("stage_{n}_mean_ms")))
+        .sum();
+    let e2e = extra(&s, "win_latency_mean_ms");
+    assert!(
+        (stage_sum - e2e).abs() <= 0.05 * e2e.max(0.001),
+        "stage means {stage_sum} vs e2e mean {e2e}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn health_state_tracks_breaker_and_drain() {
+    let _g = lock();
+    let dir = scratch("healthstate");
+    let ck = dir.join("m.oods");
+    write_checkpoint(&ck, 1.0);
+    let config = ServeConfig {
+        max_retries: 0,
+        breaker_threshold: 1,
+        breaker_cooldown: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, vec![("default".into(), spec(), ck)]).unwrap();
+
+    let h = ask(&server, r#"{"op":"health","id":"h0"}"#);
+    assert_eq!(h.state.as_deref(), Some("ok"));
+    assert_eq!(extra(&h, "healthy"), 1.0);
+
+    // One poisoned batch trips the threshold-1 breaker.
+    server.fault_injector().inject_nan_batches(1);
+    let r = ask(&server, &infer_line("bad", 4, 2, None));
+    assert_eq!(r.status, Status::Degraded);
+    // The degraded response is sent just before the executor flips the
+    // breaker mirror; poll briefly rather than racing it.
+    let h = poll_health_state(&server, "degraded");
+    assert_eq!(extra(&h, "healthy"), 0.0);
+    let s = ask(&server, r#"{"op":"stats","id":"s1"}"#);
+    assert_eq!(extra(&s, "breaker_open"), 1.0);
+
+    // Cooldown batch closes it again; state returns to ok.
+    let r = ask(&server, &infer_line("cool", 4, 2, None));
+    assert_eq!(r.status, Status::Degraded); // served by the open breaker
+    poll_health_state(&server, "ok");
+
+    // Draining wins over everything.
+    let _ = ask(&server, r#"{"op":"drain","id":"bye"}"#);
+    let h = ask(&server, r#"{"op":"health","id":"h3"}"#);
+    assert_eq!(h.state.as_deref(), Some("draining"));
+    assert_eq!(extra(&h, "healthy"), 0.0);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_answers_out_of_band_while_the_executor_is_stalled() {
+    let _g = lock();
+    let dir = scratch("oob");
+    let ck = dir.join("m.oods");
+    write_checkpoint(&ck, 1.0);
+    let server =
+        Server::start(ServeConfig::default(), vec![("default".into(), spec(), ck)]).unwrap();
+
+    // Stall the executor, then pile work behind the stall.
+    server.fault_injector().inject_slow_batches(1, 300);
+    let (tx, rx) = channel();
+    server.submit_line(&infer_line("stall", 3, 9, Some(10_000)), &tx);
+    wait_queue_empty(&server);
+    for i in 0..4 {
+        server.submit_line(
+            &infer_line(&format!("q{i}"), 4, i as u64, Some(10_000)),
+            &tx,
+        );
+    }
+    // The probe must answer immediately from the admission thread even
+    // though the data path is saturated.
+    let t0 = std::time::Instant::now();
+    let s = ask(&server, r#"{"op":"stats","id":"mid"}"#);
+    assert!(
+        t0.elapsed() < Duration::from_millis(200),
+        "stats blocked behind the batch queue"
+    );
+    assert!(extra(&s, "queue_depth") >= 4.0, "{:?}", s.extra);
+    assert!(extra(&s, "inflight") >= 4.0, "{:?}", s.extra);
+    for _ in 0..5 {
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_ne!(r.status, Status::Error, "{:?}", r.error);
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

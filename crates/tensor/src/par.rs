@@ -270,14 +270,22 @@ pub fn for_each_chunk(n: usize, grain: usize, kernel: Kernel, f: impl Fn(Range<u
     } else {
         current_threads()
     };
-    if chunks == 1 || threads == 1 {
+    if chunks == 1 {
+        f(chunk_range(n, chunks, 0));
+        return;
+    }
+    // Multi-chunk regions are timed at every thread count (including the
+    // sequential t=1 path): chunk boundaries are a pure function of the
+    // problem size, so per-kernel region/chunk tables stay comparable
+    // like-for-like across `OOD_THREADS` settings.
+    let start = Instant::now();
+    if threads == 1 {
         for i in 0..chunks {
             f(chunk_range(n, chunks, i));
         }
-        return;
+    } else {
+        run_parallel(chunks, threads - 1, &|i| f(chunk_range(n, chunks, i)));
     }
-    let start = Instant::now();
-    run_parallel(chunks, threads - 1, &|i| f(chunk_range(n, chunks, i)));
     profile::record_parallel(kernel, chunks, start.elapsed().as_nanos() as u64);
 }
 

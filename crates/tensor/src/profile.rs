@@ -158,8 +158,10 @@ pub(crate) fn release_bytes(bytes: u64) {
     LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
 }
 
-/// Hook called by [`crate::par`] once per parallel region (a region that
-/// actually fanned out to the pool; sequential fallbacks are not counted).
+/// Hook called by [`crate::par`] once per multi-chunk region. Regions are
+/// timed at every thread count — including the sequential `t=1` path — so
+/// per-kernel tables compare like-for-like across `OOD_THREADS`;
+/// single-chunk problems are never counted.
 #[inline]
 pub(crate) fn record_parallel(kernel: Kernel, chunks: usize, nanos: u64) {
     let k = kernel as usize;
@@ -187,8 +189,9 @@ pub struct ProfileSnapshot {
     pub per_op: [u64; N_OPS],
     /// Active thread count of the parallel execution layer.
     pub threads: u64,
-    /// Parallel regions executed per kernel family, indexed like
-    /// [`KERNEL_NAMES`]. Only regions that actually fanned out count.
+    /// Multi-chunk regions executed per kernel family, indexed like
+    /// [`KERNEL_NAMES`]. Timed at every thread count (single-chunk
+    /// problems are not counted).
     pub par_regions: [u64; N_KERNELS],
     /// Chunks dispatched across all parallel regions, per kernel family.
     pub par_chunks: [u64; N_KERNELS],

@@ -101,6 +101,10 @@ pub struct TraceAnalysis {
     pub kernels: Vec<KernelRow>,
     /// The last `tensor_memory` event (end-of-run totals).
     pub memory: Option<Event>,
+    /// Every `serve_stats` snapshot, in stream order — the rolling-window
+    /// serving series that `serve_top` replays and `trace_report`
+    /// summarizes.
+    pub serve_stats: Vec<Event>,
     /// Largest `ts_us` stamp seen: wall clock covered by the stream.
     pub last_ts_us: i64,
 }
@@ -243,6 +247,7 @@ pub fn analyze(events: &[Event]) -> TraceAnalysis {
                 names::RUN_SUMMARY => a.summary = Some(e.clone()),
                 names::TENSOR_PARALLEL => a.kernels = parse_kernels(e),
                 names::TENSOR_MEMORY => a.memory = Some(e.clone()),
+                names::SERVE_STATS => a.serve_stats.push(e.clone()),
                 _ => {}
             },
         }
@@ -446,6 +451,23 @@ mod tests {
         assert_eq!(a.kernels[0].chunks, 28);
         assert!((a.kernels[0].ms - 1.5).abs() < 1e-12);
         assert_eq!(a.kernels[1].name, "reduce");
+    }
+
+    #[test]
+    fn serve_stats_series_is_collected_in_order() {
+        let events = vec![
+            Event::new(EventKind::Event, names::SERVE_STATS).with("win_qps", 10.0f64),
+            Event::new(EventKind::Event, "serve_drain"),
+            Event::new(EventKind::Event, names::SERVE_STATS).with("win_qps", 25.0f64),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.serve_stats.len(), 2);
+        let qps: Vec<f64> = a
+            .serve_stats
+            .iter()
+            .map(|e| e.field("win_qps").and_then(|v| v.as_f64()).unwrap())
+            .collect();
+        assert_eq!(qps, vec![10.0, 25.0]);
     }
 
     #[test]

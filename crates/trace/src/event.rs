@@ -26,6 +26,11 @@ pub mod names {
     pub const PERF_GATE: &str = "perf_gate";
     /// Serving-runtime drain summary: ok/shed/timeout/degraded counters.
     pub const SERVE_SUMMARY: &str = "serve_summary";
+    /// Periodic serving snapshot: uptime, queue depth, in-flight count,
+    /// rolling-window rates and per-stage latency quantiles, breaker
+    /// state. Emitted by the serve executor so any JSONL trace replays
+    /// into a time series (`serve_top` consumes these).
+    pub const SERVE_STATS: &str = "serve_stats";
     /// Successful hot checkpoint reload: model, new version, path.
     pub const MODEL_RELOAD: &str = "model_reload";
 }
@@ -65,6 +70,14 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }

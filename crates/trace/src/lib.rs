@@ -37,6 +37,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use event::{names, Event, EventKind, Value};
 pub use manifest::RunManifest;

@@ -33,9 +33,20 @@ OOD_THREADS=4 OOD_POOL=0 cargo test --workspace --quiet || status=1
 echo "== fault drill (kill+resume, NaN batches, inner spikes)"
 cargo run -p bench --release --bin fault_drill >/dev/null || status=1
 
-echo "== serve drill (shed, timeout, degrade, reload, drain) at t=1 and t=4"
+echo "== serve drill (shed, timeout, degrade, reload, drain, stage timing) at t=1 and t=4"
 OOD_THREADS=1 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
 OOD_THREADS=4 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
+
+echo "== serve_top replay smoke (serve_stats snapshots in the recorded drill trace)"
+drill_trace=$(ls -t results/telemetry/serve_drill-*.jsonl 2>/dev/null | head -1 || true)
+if [ -n "$drill_trace" ]; then
+    cargo run -p bench --release --bin serve_top -- \
+        --replay --once --trace "$drill_trace" \
+        | grep -q '^stage_compute_p95_ms=' || status=1
+else
+    echo "serve_top: no recorded serve_drill trace found" >&2
+    status=1
+fi
 
 # Smoke runs pass `--json -` so the fast numbers do not overwrite the
 # committed full-run artifacts (results/threads_sweep.json, mem_sweep.json).
