@@ -27,14 +27,25 @@
 //! in the emitted telemetry. Exits non-zero if any phase fails.
 //!
 //! Run with: `cargo run --release --bin serve_drill`
+//!
+//! With `--socket` the drill instead exercises the TCP transport: four
+//! concurrent client threads replay the same traffic over a real socket
+//! and must produce digests bitwise-identical to the in-process (stdio)
+//! path at `OOD_THREADS={1,4}`, with connection shed / slow-client /
+//! disconnect counts asserted exactly. Its verdict lands in
+//! `results/serve_drill_socket.json`.
 
 use datasets::triangles::{generate, TrianglesConfig};
 use gnn::models::ModelConfig;
 use gnn::trainer::TrainConfig;
 use oodgnn_core::{CheckpointConfig, OodGnn, OodGnnConfig, TrainOptions};
-use serve::{ModelSpec, Response, ServeConfig, Server, Status};
+use serve::{ModelSpec, Response, ServeConfig, Server, Status, Transport, TransportConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tensor::rng::Rng;
 
@@ -216,6 +227,10 @@ fn start_server(spec: &ModelSpec, ck: &Path, config: ServeConfig) -> Server {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--socket") {
+        socket_drill();
+        return;
+    }
     let jsonl = bench::telemetry::init("serve_drill", SEED);
     let sink = trace::MemorySink::shared();
     trace::attach(Box::new(sink.clone()));
@@ -446,7 +461,12 @@ fn main() {
         graph_line("post", graphs[1], 60_000),
     ];
     let responses = ask_burst(&server, &lines);
-    let find = |id: &str| responses.iter().find(|r| r.id == id).expect("response");
+    let find = |id: &str| {
+        responses
+            .iter()
+            .find(|r| r.id.as_deref() == Some(id))
+            .expect("response")
+    };
     let (pre, swap, post) = (find("pre"), find("swap"), find("post"));
     drill.check(
         "hot reload bumps version without dropping in-flight work",
@@ -607,6 +627,436 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall drills passed");
+}
+
+// ---------------------------------------------------------------------------
+// `--socket` mode: the same traffic through the TCP transport.
+// ---------------------------------------------------------------------------
+
+fn count(a: &std::sync::atomic::AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+/// Poll until `done` holds (counters settle from transport threads).
+fn wait_for(what: &str, mut done: impl FnMut() -> bool) {
+    for _ in 0..5000 {
+        if done() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Extract a top-level string field from a raw response line. The serving
+/// protocol's request parser rejects nested objects, so responses carrying
+/// a `timing` object can't go back through it; a textual scan is exact for
+/// the escape-free ids and statuses the drill itself chose.
+fn wire_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the `outputs` bit pattern from a raw response line. The wire
+/// carries f64 literals in shortest round-trip form, so parsing and
+/// narrowing back to f32 recovers the executor's exact bits.
+fn wire_output_bits(line: &str) -> Vec<u64> {
+    let Some(start) = line.find("\"outputs\":[") else {
+        return Vec::new();
+    };
+    let rest = &line[start + "\"outputs\":[".len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| (t.trim().parse::<f64>().expect("numeric output") as f32).to_bits() as u64)
+        .collect()
+}
+
+/// One synchronous client thread: send each assigned request, read its
+/// reply, record `(graph index, output bits, latency)`.
+fn socket_client(
+    addr: std::net::SocketAddr,
+    work: Vec<(usize, String)>,
+) -> Vec<(usize, Vec<u64>, u64)> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(work.len());
+    for (index, line) in work {
+        let t0 = Instant::now();
+        writer.write_all(line.as_bytes()).expect("write request");
+        writer.write_all(b"\n").expect("write newline");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        let us = t0.elapsed().as_micros() as u64;
+        assert_eq!(
+            wire_str(&resp, "id").as_deref(),
+            Some(format!("g{index}").as_str()),
+            "synchronous client must read its own reply: {resp}"
+        );
+        assert_eq!(wire_str(&resp, "status").as_deref(), Some("ok"), "{resp}");
+        out.push((index, wire_output_bits(&resp), us));
+    }
+    out
+}
+
+/// Replay `graphs` through a fresh transport bound on `server` with
+/// `clients` concurrent client threads (strided graph assignment); return
+/// `(digest folded in graph order, latencies, ok count)`. Waits for the
+/// server-side close bookkeeping so callers can assert exact connection
+/// counters afterwards.
+fn socket_replay(
+    server: &Arc<Server>,
+    graphs: &[&graph::Graph],
+    clients: usize,
+) -> (u64, Vec<u64>, usize) {
+    let before_close = count(&server.stats().conn_close);
+    let transport = Transport::bind(server.clone(), "127.0.0.1:0", TransportConfig::default())
+        .expect("bind transport");
+    let addr = transport.local_addr();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let work: Vec<(usize, String)> = graphs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(i, g)| (i, graph_line(&format!("g{i}"), g, 60_000)))
+                .collect();
+            std::thread::spawn(move || socket_client(addr, work))
+        })
+        .collect();
+    let mut outputs: Vec<(usize, Vec<u64>, u64)> = Vec::new();
+    for h in handles {
+        outputs.extend(h.join().expect("client thread"));
+    }
+    // Fold in graph order — the same order `replay` visits (waves are
+    // processed in order and ids sort within a wave), so the digests are
+    // directly comparable.
+    outputs.sort_by_key(|(i, _, _)| *i);
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut latencies = Vec::with_capacity(outputs.len());
+    for (_, bits, us) in &outputs {
+        for &b in bits {
+            fnv1a_update(&mut digest, b);
+        }
+        latencies.push(*us);
+    }
+    let stats = server.stats();
+    wait_for("connection closes to be recorded", || {
+        count(&stats.conn_close) >= before_close + clients as u64
+    });
+    transport.shutdown();
+    (digest, latencies, outputs.len())
+}
+
+fn socket_drill() {
+    let jsonl = bench::telemetry::init("serve_drill_socket", SEED);
+    let sink = trace::MemorySink::shared();
+    trace::attach(Box::new(sink.clone()));
+    let launch_threads = tensor::par::current_threads();
+
+    let bench_data = generate(&TrianglesConfig::scaled(0.02), 1);
+    let dir = scratch_dir();
+    let ck1 = dir.join("serve_sock_v1.oods");
+    let mut drill = Drill { failures: 0 };
+
+    println!("# serve drill (socket)\n");
+    train_checkpoint(&bench_data, &ck1, MODEL_SEED);
+    let spec = ModelSpec::new(
+        "gin",
+        bench_data.dataset.feature_dim(),
+        HIDDEN,
+        LAYERS,
+        bench_data.dataset.task(),
+    );
+    let n = REPLAY.min(bench_data.dataset.len());
+    let graphs: Vec<&graph::Graph> = (0..n).map(|i| bench_data.dataset.graph(i)).collect();
+    let config = ServeConfig {
+        max_batch: WAVE,
+        ..ServeConfig::default()
+    };
+    const CLIENTS: usize = 4;
+
+    // Phase S1: four concurrent clients vs the in-process (stdio) path on
+    // the same server — digests must match bitwise, the socket hop must
+    // hold the latency/QPS budget, and the connection lifecycle counters
+    // must come out exact.
+    let server = Arc::new(start_server(&spec, &ck1, config.clone()));
+    let (stdio_digest, _, stdio_done, _) = replay(&server, &graphs);
+    let t0 = Instant::now();
+    let (sock_digest, mut latencies, sock_done) = socket_replay(&server, &graphs, CLIENTS);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+    drill.check(
+        "socket replay completes every request",
+        sock_done == n && stdio_done == n,
+        format!("{sock_done}/{n} ok over {CLIENTS} clients in {wall:.2}s"),
+    );
+    drill.check(
+        "socket responses bitwise-identical to the stdio path",
+        sock_digest == stdio_digest,
+        format!("socket {sock_digest:#018x} vs stdio {stdio_digest:#018x}"),
+    );
+    drill.check(
+        "connection lifecycle counters exact after clean replay",
+        count(&stats.conn_open) == CLIENTS as u64
+            && count(&stats.conn_close) == CLIENTS as u64
+            && count(&stats.conn_shed) == 0
+            && count(&stats.slow_client_drops) == 0
+            && count(&stats.open_conns) == 0,
+        format!(
+            "open {} close {} shed {} slow {} gauge {}",
+            count(&stats.conn_open),
+            count(&stats.conn_close),
+            count(&stats.conn_shed),
+            count(&stats.slow_client_drops),
+            count(&stats.open_conns)
+        ),
+    );
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx] as f64 / 1e3
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let qps = sock_done as f64 / wall.max(1e-9);
+    drill.check(
+        "socket latency/QPS budget holds with 4 concurrent clients",
+        p95 < 2000.0 && qps > 5.0,
+        format!("p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms, {qps:.0} req/s"),
+    );
+    server.shutdown();
+
+    // Phase S2: digest parity at OOD_THREADS={1,4} on both paths.
+    let digest_pair_at = |threads: usize| {
+        tensor::par::set_threads(threads);
+        let server = Arc::new(start_server(&spec, &ck1, config.clone()));
+        let (d_stdio, _, done_a, _) = replay(&server, &graphs);
+        let (d_sock, _, done_b) = socket_replay(&server, &graphs, CLIENTS);
+        server.shutdown();
+        (d_stdio, d_sock, done_a == n && done_b == n)
+    };
+    let (s1, k1, ok1) = digest_pair_at(1);
+    let (s4, k4, ok4) = digest_pair_at(4);
+    tensor::par::set_threads(tensor::par::max_threads());
+    drill.check(
+        "socket digests match stdio bitwise at OOD_THREADS={1,4}",
+        ok1 && ok4 && s1 == k1 && s4 == k4 && s1 == s4 && s1 == stdio_digest,
+        format!("t1 stdio {s1:#018x} sock {k1:#018x}; t4 stdio {s4:#018x} sock {k4:#018x}"),
+    );
+
+    // Phase S3: connection limit — the over-limit connect gets exactly one
+    // structured `shed` reply (no id, since no request was ever read) and
+    // is closed; admitted connections are untouched.
+    let server = Arc::new(start_server(&spec, &ck1, config.clone()));
+    let transport = Transport::bind(
+        server.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            max_conns: 2,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind transport");
+    let addr = transport.local_addr();
+    let keepers: Vec<(TcpStream, BufReader<TcpStream>)> = (0..2)
+        .map(|i| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            let mut w = s.try_clone().unwrap();
+            let mut r = BufReader::new(s);
+            // Round-trip a request so the connection is fully admitted
+            // before the over-limit connect arrives.
+            writeln!(w, "{}", graph_line(&format!("keep{i}"), graphs[0], 60_000)).unwrap();
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(wire_str(&line, "status").as_deref(), Some("ok"), "{line}");
+            (w, r)
+        })
+        .collect();
+    let extra = TcpStream::connect(addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut r = BufReader::new(extra);
+    let mut shed_line = String::new();
+    r.read_line(&mut shed_line).unwrap();
+    let shed_ok = wire_str(&shed_line, "status").as_deref() == Some("shed")
+        && wire_str(&shed_line, "error")
+            .unwrap_or_default()
+            .contains("connection limit")
+        && !shed_line.contains("\"id\"");
+    let mut eof = String::new();
+    let closed = matches!(r.read_line(&mut eof), Ok(0));
+    let stats = server.stats();
+    drill.check(
+        "over-limit connection shed with a structured reply, exactly once",
+        shed_ok && closed && count(&stats.conn_shed) == 1 && count(&stats.conn_open) == 2,
+        format!(
+            "reply `{}`, conn_shed {} conn_open {}",
+            shed_line.trim(),
+            count(&stats.conn_shed),
+            count(&stats.conn_open)
+        ),
+    );
+    drop(keepers);
+    transport.shutdown();
+    server.shutdown();
+
+    // Phase S4: slow-reader backpressure — a client that pipelines without
+    // ever reading overflows its bounded reply queue and is disconnected,
+    // exactly once; a well-behaved client on the same server is untouched
+    // and still bit-exact.
+    let server = Arc::new(start_server(&spec, &ck1, config.clone()));
+    let baseline = ask(&server, &graph_line("base", graphs[0], 60_000));
+    let base_bits: Vec<u64> = baseline
+        .outputs
+        .as_ref()
+        .expect("baseline outputs")
+        .iter()
+        .map(|v| v.to_bits() as u64)
+        .collect();
+    let transport = Transport::bind(
+        server.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            outbound_capacity: 2,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind transport");
+    let addr = transport.local_addr();
+    let slow = TcpStream::connect(addr).unwrap();
+    let mut sw = slow.try_clone().unwrap();
+    // Thousands of tiny malformed lines arrive in a handful of reads, and
+    // admission answers each inline on the reader thread — replies are
+    // pushed back-to-back with no executor round trip, which outruns the
+    // writer's per-reply syscall and overflows the 2-deep queue without
+    // depending on batch timing.
+    let burst = "x\n".repeat(4000);
+    sw.write_all(burst.as_bytes()).unwrap();
+    sw.flush().unwrap();
+    let stats = server.stats();
+    wait_for("slow client to be dropped", || {
+        count(&stats.slow_client_drops) >= 1
+    });
+    let good = TcpStream::connect(addr).unwrap();
+    good.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut gw = good.try_clone().unwrap();
+    let mut gr = BufReader::new(good);
+    writeln!(gw, "{}", graph_line("good", graphs[0], 60_000)).unwrap();
+    let mut good_line = String::new();
+    gr.read_line(&mut good_line).unwrap();
+    drill.check(
+        "slow reader disconnected exactly once, good client bit-exact",
+        count(&stats.slow_client_drops) == 1 && wire_output_bits(&good_line) == base_bits,
+        format!("slow_client_drops {}", count(&stats.slow_client_drops)),
+    );
+    drop(sw);
+    drop(slow);
+    transport.shutdown();
+    server.shutdown();
+
+    // Phase S5: abrupt disconnect mid-batch — in-flight requests from a
+    // dead connection complete on the executor and evaporate at reply
+    // routing; the close is recorded exactly once and the server keeps
+    // serving bit-exactly.
+    let server = Arc::new(start_server(&spec, &ck1, config.clone()));
+    server.fault_injector().inject_slow_batches(1, 200);
+    let transport = Transport::bind(server.clone(), "127.0.0.1:0", TransportConfig::default())
+        .expect("bind transport");
+    let addr = transport.local_addr();
+    {
+        let doomed = TcpStream::connect(addr).unwrap();
+        let mut w = doomed.try_clone().unwrap();
+        for i in 0..3 {
+            writeln!(
+                w,
+                "{}",
+                graph_line(&format!("doomed{i}"), graphs[0], 60_000)
+            )
+            .unwrap();
+        }
+        // A final unterminated fragment, then a hard drop mid-line.
+        w.write_all(b"{\"op\":\"infer\",\"id\":\"cut").unwrap();
+        w.flush().unwrap();
+    }
+    let stats = server.stats();
+    wait_for("doomed requests to complete on the executor", || {
+        count(&stats.ok) >= 3
+    });
+    wait_for("dead connection close to be recorded", || {
+        count(&stats.conn_close) >= 1
+    });
+    let after = ask(&server, &graph_line("after", graphs[0], 60_000));
+    let base2 = ask(&server, &graph_line("base2", graphs[0], 60_000));
+    drill.check(
+        "abrupt disconnect mid-batch: work completes, close recorded once, service intact",
+        count(&stats.conn_close) == 1 && after.status == Status::Ok && bitwise_eq(&after, &base2),
+        format!(
+            "ok {} conn_close {} follow-up {:?}",
+            count(&stats.ok),
+            count(&stats.conn_close),
+            after.status
+        ),
+    );
+    transport.shutdown();
+    server.shutdown();
+
+    // Connection telemetry: lifecycle events and counters must be visible.
+    trace::metrics::flush();
+    let events = sink.events();
+    let has = |name: &str| events.iter().any(|e| e.name == name);
+    drill.check(
+        "connection lifecycle events and counters in telemetry",
+        has(trace::names::SERVE_CONN_OPEN)
+            && has(trace::names::SERVE_CONN_CLOSE)
+            && has(trace::names::SERVE_CONN_SHED)
+            && has("serve/conn_open")
+            && has("serve/conn_close")
+            && has("serve/conn_shed")
+            && has("serve/slow_client_drops"),
+        "serve_conn_{open,close,shed} events + serve/{conn_*,slow_client_drops} counters"
+            .to_string(),
+    );
+
+    // Persist the verdict for the trajectory.
+    let mut metrics = bench::perf::MetricFile::new("serve_drill_socket");
+    metrics.set("failures", drill.failures as f64);
+    metrics.set("requests_ok", sock_done as f64);
+    metrics.set("clients", CLIENTS as f64);
+    metrics.set("latency_p50_ms", p50);
+    metrics.set("latency_p95_ms", p95);
+    metrics.set("latency_p99_ms", p99);
+    metrics.set("qps", qps);
+    metrics.set_meta("threads", launch_threads.to_string());
+    metrics.set_meta("pool", tensor::pool::enabled().to_string());
+    if let Err(e) = metrics.save("results/serve_drill_socket.json") {
+        eprintln!("cannot save results/serve_drill_socket.json: {e}");
+    }
+    if let Err(e) = metrics.append_to_trajectory("results/BENCH_trajectory.jsonl") {
+        eprintln!("cannot append trajectory: {e}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    bench::telemetry::finish(&jsonl);
+    if drill.failures > 0 {
+        println!("\n{} socket drill(s) FAILED", drill.failures);
+        std::process::exit(1);
+    }
+    println!("\nall socket drills passed");
 }
 
 fn bitwise_eq(a: &Response, b: &Response) -> bool {

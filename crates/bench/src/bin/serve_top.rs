@@ -189,6 +189,14 @@ fn render(dash: &Dash) -> String {
         field_f64(e, "win_timeout").unwrap_or(0.0),
         degraded,
     ));
+    if let Some(open) = field_f64(e, "open_conns") {
+        out.push_str(&format!(
+            "  conns {open:>4.0} open   window: {:.0} opened / {:.0} closed / {:.0} shed\n",
+            field_f64(e, "win_conn_open").unwrap_or(0.0),
+            field_f64(e, "win_conn_close").unwrap_or(0.0),
+            field_f64(e, "win_conn_shed").unwrap_or(0.0),
+        ));
+    }
     out.push_str(&format!(
         "\n  {:<10} {:>7} {:>9} {:>9} {:>9} {:>9}  (ms)\n",
         "stage", "count", "mean", "p50", "p95", "p99"

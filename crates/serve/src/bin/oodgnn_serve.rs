@@ -1,16 +1,29 @@
-//! `oodgnn-serve` — long-running JSONL inference server over stdio.
+//! `oodgnn-serve` — long-running JSONL inference server over stdio or TCP.
 //!
-//! Reads one request object per stdin line, writes one response object per
-//! stdout line (responses may arrive out of request order; correlate by
-//! `id`). EOF on stdin triggers a graceful drain. Example:
+//! Default (stdio) mode reads one request object per stdin line and writes
+//! one response object per stdout line (responses may arrive out of
+//! request order; correlate by `id`). EOF on stdin triggers a graceful
+//! drain. Example:
 //!
 //! ```text
 //! oodgnn-serve --checkpoint model.oods --in-dim 7 --hidden 16 --layers 2 \
 //!     --task multiclass --out-dim 2
 //! ```
+//!
+//! With `--listen host:port` the same protocol is served over TCP to many
+//! concurrent clients (one reply stream per connection); stdin becomes a
+//! local control plane (`stats`, `drain`, … answered on stdout) and the
+//! process drains gracefully on SIGTERM/SIGINT, a control-line `drain`,
+//! or a protocol `drain` from any connection:
+//!
+//! ```text
+//! oodgnn-serve --checkpoint model.oods --in-dim 7 --listen 127.0.0.1:7431
+//! ```
 
-use oodgnn_serve::{ModelSpec, Response, ServeConfig, Server};
+use oodgnn_serve::{ModelSpec, Response, ServeConfig, Server, Transport, TransportConfig};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
@@ -30,7 +43,14 @@ fn usage() -> ! {
          \x20 --stats-interval-ms N  period of `serve_stats` telemetry\n\
          \x20                     snapshots (default 1000)\n\
          \x20 --window-secs N     rolling stats window length (default 60)\n\
-         \x20 --telemetry PATH    also write trace events to a JSONL file"
+         \x20 --telemetry PATH    also write trace events to a JSONL file\n\
+         \x20 --listen HOST:PORT  serve the protocol over TCP instead of\n\
+         \x20                     stdio (stdin stays as a control plane)\n\
+         \x20 --max-conns N       connection limit in --listen mode; over-\n\
+         \x20                     limit accepts get a `shed` reply (default 64)\n\
+         \x20 --idle-timeout-ms N close connections idle this long (default 30000)\n\
+         \x20 --outbound-cap N    per-connection reply-queue bound; overflow\n\
+         \x20                     disconnects the slow client (default 256)"
     );
     std::process::exit(2);
 }
@@ -124,7 +144,7 @@ fn main() {
     }
 
     let server = match Server::start(config, vec![("default".into(), spec, checkpoint.into())]) {
-        Ok(s) => s,
+        Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("startup failed: {e}");
             std::process::exit(1);
@@ -132,8 +152,9 @@ fn main() {
     };
     eprintln!("oodgnn-serve: ready (model `default` from {checkpoint})");
 
-    // One writer thread owns stdout; admission and the executor both feed
-    // it through the response channel.
+    // One writer thread owns stdout; stdin-submitted requests (stdio mode
+    // or the listen-mode control plane) answer through this channel. TCP
+    // replies route to their own connection's writer instead.
     let (tx, rx) = std::sync::mpsc::channel::<Response>();
     let writer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
@@ -150,6 +171,11 @@ fn main() {
         }
     });
 
+    if let Some(addr) = flags.get("listen") {
+        run_listen(&flags, addr, server, tx);
+        return;
+    }
+
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
@@ -164,4 +190,101 @@ fn main() {
     let _ = writer.join();
     trace::flush_sinks();
     trace::detach_all();
+}
+
+/// `--listen` mode: serve TCP until SIGTERM/SIGINT or a drain request
+/// (control-line or protocol), then stop accepting, flush in-flight work,
+/// close connections, and exit.
+fn run_listen(
+    flags: &Flags,
+    addr: &str,
+    server: Arc<Server>,
+    tx: std::sync::mpsc::Sender<Response>,
+) {
+    let tconfig = TransportConfig {
+        max_conns: flags.get_usize("max-conns", 64),
+        outbound_capacity: flags.get_usize("outbound-cap", 256),
+        idle_timeout_ms: flags.get_usize("idle-timeout-ms", 30_000) as u64,
+    };
+    let transport = match Transport::bind(server.clone(), addr, tconfig) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("listen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("oodgnn-serve: listening on {}", transport.local_addr());
+    sig::install();
+
+    // Control plane: stdin lines are submitted like any request and
+    // answered on stdout, so an operator can type `{"op":"stats"}` or
+    // `{"op":"drain"}` at the terminal. This thread blocks on stdin and
+    // is intentionally never joined.
+    {
+        let server = server.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                server.submit_line(&line, &tx);
+            }
+        });
+    }
+
+    while !sig::requested() && !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("oodgnn-serve: draining (stop accepting, flush in-flight, close)");
+    transport.stop_accepting();
+    server.shutdown();
+    transport.shutdown();
+    drop(tx);
+    trace::flush_sinks();
+    trace::detach_all();
+    // The control-plane thread may still be parked on stdin; exit rather
+    // than wait on input that will never come.
+    std::process::exit(0);
+}
+
+/// Minimal signal handling without any external crate: a `signal(2)`
+/// handler that flips an atomic the main loop polls.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, handle as extern "C" fn(i32) as usize);
+            signal(SIGINT, handle as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
 }

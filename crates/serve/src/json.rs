@@ -81,8 +81,19 @@ struct Parser<'a> {
 /// Parse one top-level JSON object into ordered key/value pairs.
 /// `max_elements` bounds the total number of array elements accepted.
 pub fn parse_object(text: &str, max_elements: usize) -> Result<Vec<(String, Json)>, String> {
+    parse_object_bytes(text.as_bytes(), max_elements)
+}
+
+/// Byte-level entry point for lines arriving straight off a socket, where
+/// nothing guarantees valid UTF-8. Invalid sequences inside strings are
+/// rejected with a parse error (suitable for a structured `error`
+/// response) — never a panic in the reader thread.
+pub fn parse_object_bytes(
+    bytes: &[u8],
+    max_elements: usize,
+) -> Result<Vec<(String, Json)>, String> {
     let mut p = Parser {
-        bytes: text.as_bytes(),
+        bytes,
         pos: 0,
         budget: max_elements,
     };
@@ -225,22 +236,38 @@ impl Parser<'_> {
                         b'b' => out.push('\u{0008}'),
                         b'f' => out.push('\u{000C}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            let code = self.parse_u_escape()?;
+                            let c = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: pairs with an immediately
+                                // following \uDC00–\uDFFF to form one code
+                                // point beyond the BMP. Anything else leaves
+                                // a lone surrogate, replaced by U+FFFD
+                                // without consuming the next escape.
+                                match self.peek_low_surrogate() {
+                                    Some(low) => {
+                                        self.pos += 6; // the "\uXXXX" just peeked
+                                        let combined =
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    }
+                                    None => '\u{FFFD}',
+                                }
+                            } else if (0xDC00..=0xDFFF).contains(&code) {
+                                // Lone low surrogate.
+                                '\u{FFFD}'
+                            } else {
+                                char::from_u32(code).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
                         }
                         _ => return Err("unknown escape sequence".into()),
                     }
                 }
                 _ => {
-                    // Continue a UTF-8 sequence byte-by-byte: the input was
-                    // a &str, so sequences are valid; collect raw bytes.
+                    // Continue a raw byte run up to the next quote or
+                    // escape. Socket input carries no UTF-8 guarantee, so
+                    // the run is validated here and rejected with a parse
+                    // error instead of panicking the reader thread.
                     let start = self.pos - 1;
                     let mut end = self.pos;
                     while self
@@ -250,11 +277,38 @@ impl Parser<'_> {
                     {
                         end += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    let run = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(run);
                     self.pos = end;
                 }
             }
         }
+    }
+
+    /// The four hex digits of a `\u` escape (the `\u` itself is already
+    /// consumed), advancing past them.
+    fn parse_u_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// If the next six bytes are a `\uXXXX` escape encoding a low
+    /// surrogate, return its code point without consuming anything.
+    fn peek_low_surrogate(&self) -> Option<u32> {
+        let next = self.bytes.get(self.pos..self.pos + 6)?;
+        if next[0] != b'\\' || next[1] != b'u' {
+            return None;
+        }
+        let hex = std::str::from_utf8(&next[2..6]).ok()?;
+        let code = u32::from_str_radix(hex, 16).ok()?;
+        (0xDC00..=0xDFFF).contains(&code).then_some(code)
     }
 
     fn parse_number(&mut self) -> Result<Json, String> {
@@ -266,7 +320,10 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Only ASCII bytes were consumed above, so this cannot fail; kept
+        // as a typed error rather than an unwrap for socket-byte inputs.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in number")?;
         let n: f64 = text
             .parse()
             .map_err(|_| format!("malformed number `{text}`"))?;
@@ -329,5 +386,58 @@ mod tests {
     fn strings_unescape() {
         let pairs = parse_object(r#"{"id":"a\"b\\c\ndA"}"#, 10).unwrap();
         assert_eq!(pairs[0].1.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_code_point() {
+        // U+1F600 (grinning face) encoded as the escaped pair
+        // \uD83D\uDE00 must decode to one code point, not two U+FFFD.
+        let pairs = parse_object(r#"{"id":"\uD83D\uDE00"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("\u{1F600}"));
+        // Mixed with surrounding text and a BMP escape (\u00E9 = e-acute).
+        let pairs = parse_object(r#"{"id":"a\u00E9-\uD83D\uDE00!"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("a\u{e9}-\u{1F600}!"));
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // High surrogate at end of string.
+        let pairs = parse_object(r#"{"id":"x\uD83D"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("x\u{FFFD}"));
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape must survive as its own character.
+        let pairs = parse_object(r#"{"id":"\uD83DA"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("\u{FFFD}A"));
+        // Low surrogate alone.
+        let pairs = parse_object(r#"{"id":"\uDE00y"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("\u{FFFD}y"));
+        // Two high surrogates in a row: two replacements.
+        let pairs = parse_object(r#"{"id":"\uD83D\uD83D"}"#, 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("\u{FFFD}\u{FFFD}"));
+    }
+
+    #[test]
+    fn raw_utf8_in_strings_round_trips() {
+        let pairs = parse_object("{\"id\":\"héllo 😀 wörld\"}", 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("héllo 😀 wörld"));
+    }
+
+    #[test]
+    fn invalid_utf8_bytes_are_a_parse_error_not_a_panic() {
+        // Hostile socket bytes: a lone continuation byte, a truncated
+        // multi-byte sequence, and an overlong-ish run inside the string.
+        let cases: Vec<Vec<u8>> = vec![
+            b"{\"id\":\"\xff\xfe\"}".to_vec(),
+            b"{\"id\":\"abc\xc3\"}".to_vec(),
+            b"{\"id\":\"\xe2\x28\xa1\"}".to_vec(),
+            b"{\"op\":\"infer\",\"id\":\"\x80\",\"nodes\":1}".to_vec(),
+        ];
+        for bytes in cases {
+            let err = parse_object_bytes(&bytes, 10).unwrap_err();
+            assert!(err.contains("UTF-8"), "{bytes:?} -> {err}");
+        }
+        // Valid bytes still parse through the byte-level entry point.
+        let pairs = parse_object_bytes(b"{\"id\":\"ok\"}", 10).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("ok"));
     }
 }

@@ -16,8 +16,14 @@
 //! - **Hot reload** — checkpoints are swapped atomically through the request
 //!   queue, so in-flight work is never dropped and a corrupt file leaves the
 //!   previous version serving.
-//! - **Graceful drain** — a `drain` request (or EOF on stdin) answers
-//!   everything already admitted, then shuts down.
+//! - **Graceful drain** — a `drain` request (or EOF on stdin, or SIGTERM
+//!   in `--listen` mode) answers everything already admitted, then shuts
+//!   down.
+//! - **TCP transport** — `--listen host:port` serves many concurrent
+//!   clients over one executor ([`transport`]): bounded connection count,
+//!   per-connection bounded reply queues (slow clients only stall
+//!   themselves), idle timeouts, and half-closed/mid-line disconnect
+//!   handling that never panics the executor.
 //! - **Live observability** — per-request stage tracing (queue / assemble
 //!   / compute / write, optional `timing` object on the wire), rolling-
 //!   window quantiles and rates ([`stats`]), admin `stats`/`health`
@@ -35,10 +41,12 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod transport;
 
 pub use protocol::{
     best_effort_id, parse_request, InferRequest, Limits, Request, Response, StageTiming, Status,
 };
 pub use registry::{checkpoint_from_model, restore_into, ModelEntry, ModelSpec, Registry};
-pub use server::{FaultInjector, ModelMeta, ServeConfig, ServeStats, Server};
+pub use server::{FaultInjector, ModelMeta, ReplyTx, ServeConfig, ServeStats, Server};
 pub use stats::{ServeWindows, STAGE_NAMES};
+pub use transport::{Transport, TransportConfig};

@@ -126,30 +126,29 @@ pub enum Request {
 /// Extract the `id` field from a line on a best-effort basis, so error
 /// responses to malformed requests still correlate when possible. Falls
 /// back to a raw textual scan when the line doesn't parse at all (the
-/// whole point: the request is malformed).
-pub fn best_effort_id(line: &str) -> String {
+/// whole point: the request is malformed). Returns `None` when no id can
+/// be recovered — the reply then omits the `id` field entirely, so a
+/// client can always distinguish "the server could not correlate this"
+/// from a request that genuinely sent `"id":""`.
+pub fn best_effort_id(line: &str) -> Option<String> {
     if let Ok(pairs) = parse_object(line, usize::MAX) {
         for (k, v) in pairs {
             if k == "id" {
                 if let Some(s) = v.as_str() {
-                    return s.to_string();
+                    return Some(s.to_string());
                 }
             }
         }
-        return String::new();
+        return None;
     }
-    let Some(start) = line.find("\"id\":") else {
-        return String::new();
-    };
+    let start = line.find("\"id\":")?;
     let rest = line[start + 5..].trim_start();
-    let Some(rest) = rest.strip_prefix('"') else {
-        return String::new();
-    };
+    let rest = rest.strip_prefix('"')?;
     // Take up to the closing quote; give up on escapes (they're rare in
     // correlation ids and a wrong guess is worse than none).
     match rest.find(['"', '\\']) {
-        Some(end) if rest.as_bytes().get(end) == Some(&b'"') => rest[..end].to_string(),
-        _ => String::new(),
+        Some(end) if rest.as_bytes().get(end) == Some(&b'"') => Some(rest[..end].to_string()),
+        _ => None,
     }
 }
 
@@ -351,9 +350,10 @@ impl StageTiming {
 /// One response line.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Correlation id copied from the request (may be empty when the
-    /// request was too malformed to recover one).
-    pub id: String,
+    /// Correlation id copied from the request. `None` when the request was
+    /// too malformed to recover one; the serialized line then omits the
+    /// `id` field entirely.
+    pub id: Option<String>,
     /// Outcome.
     pub status: Status,
     /// Model outputs (class probabilities / per-task sigmoids / raw
@@ -377,7 +377,7 @@ impl Response {
     /// A bare response with the given id and status.
     pub fn new(id: impl Into<String>, status: Status) -> Self {
         Response {
-            id: id.into(),
+            id: Some(id.into()),
             status,
             outputs: None,
             error: None,
@@ -389,9 +389,28 @@ impl Response {
         }
     }
 
+    /// A response for a request whose id could not be recovered; the
+    /// serialized line omits the `id` field.
+    pub fn unidentified(status: Status) -> Self {
+        let mut r = Response::new("", status);
+        r.id = None;
+        r
+    }
+
     /// An `error` response with a cause.
     pub fn error(id: impl Into<String>, cause: impl Into<String>) -> Self {
         let mut r = Response::new(id, Status::Error);
+        r.error = Some(cause.into());
+        r
+    }
+
+    /// An `error` response with a best-effort id: present when one was
+    /// recovered, omitted otherwise.
+    pub fn error_with(id: Option<String>, cause: impl Into<String>) -> Self {
+        let mut r = match id {
+            Some(id) => Response::new(id, Status::Error),
+            None => Response::unidentified(Status::Error),
+        };
         r.error = Some(cause.into());
         r
     }
@@ -404,9 +423,13 @@ impl Response {
 
     /// Serialize as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"id\":");
-        trace::json::write_str(&mut out, &self.id);
-        out.push_str(",\"status\":");
+        let mut out = String::from("{");
+        if let Some(id) = &self.id {
+            out.push_str("\"id\":");
+            trace::json::write_str(&mut out, id);
+            out.push(',');
+        }
+        out.push_str("\"status\":");
         trace::json::write_str(&mut out, self.status.as_str());
         if let Some(v) = self.model_version {
             out.push_str(&format!(",\"model_version\":{v}"));
@@ -582,8 +605,34 @@ mod tests {
 
     #[test]
     fn best_effort_id_recovers_when_possible() {
-        assert_eq!(best_effort_id(r#"{"id":"abc","op":"nope"}"#), "abc");
-        assert_eq!(best_effort_id(r#"{"id":"#), "");
+        assert_eq!(
+            best_effort_id(r#"{"id":"abc","op":"nope"}"#).as_deref(),
+            Some("abc")
+        );
+        assert_eq!(best_effort_id(r#"{"id":"#), None);
+        assert_eq!(best_effort_id("not json at all"), None);
+        // A parseable line without an id recovers nothing.
+        assert_eq!(best_effort_id(r#"{"op":"nope"}"#), None);
+        // An id the client really sent — even empty — is preserved.
+        assert_eq!(
+            best_effort_id(r#"{"id":"","op":"nope"}"#).as_deref(),
+            Some("")
+        );
+        // Textual scan on an unparseable tail still finds the id.
+        assert_eq!(
+            best_effort_id(r#"{"id":"x7",   "op": <garbage"#).as_deref(),
+            Some("x7")
+        );
+    }
+
+    #[test]
+    fn unidentified_responses_omit_the_id_field() {
+        let r = Response::error_with(None, "unparseable");
+        let line = r.to_json();
+        assert!(!line.contains("\"id\""), "{line}");
+        assert!(line.starts_with("{\"status\":\"error\""), "{line}");
+        let r = Response::error_with(Some(String::new()), "bad op");
+        assert!(r.to_json().starts_with("{\"id\":\"\",\"status\":\"error\""));
     }
 
     #[test]

@@ -109,6 +109,20 @@ pub struct ServeStats {
     /// Whether the circuit breaker is currently open (mirrored from the
     /// executor for admission-side `health`/`stats` probes).
     pub breaker_open: AtomicBool,
+    /// TCP connections accepted (cumulative).
+    pub conn_open: AtomicU64,
+    /// TCP connections closed, any cause (cumulative).
+    pub conn_close: AtomicU64,
+    /// TCP connections refused at the `--max-conns` gauge (cumulative).
+    pub conn_shed: AtomicU64,
+    /// Connections dropped because their bounded outbound queue
+    /// overflowed (a reader slower than its own request rate).
+    pub slow_client_drops: AtomicU64,
+    /// Connections closed by the per-connection read idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Currently open TCP connections (a gauge — excluded from
+    /// [`ServeStats::snapshot`]).
+    pub open_conns: AtomicU64,
 }
 
 impl ServeStats {
@@ -124,6 +138,14 @@ impl ServeStats {
             ("reloads", self.reloads.load(Ordering::Relaxed)),
             ("batches", self.batches.load(Ordering::Relaxed)),
             ("retries", self.retries.load(Ordering::Relaxed)),
+            ("conn_open", self.conn_open.load(Ordering::Relaxed)),
+            ("conn_close", self.conn_close.load(Ordering::Relaxed)),
+            ("conn_shed", self.conn_shed.load(Ordering::Relaxed)),
+            (
+                "slow_client_drops",
+                self.slow_client_drops.load(Ordering::Relaxed),
+            ),
+            ("idle_closed", self.idle_closed.load(Ordering::Relaxed)),
         ]
     }
 }
@@ -169,11 +191,36 @@ pub struct ModelMeta {
     pub version: u64,
 }
 
+/// Where a response is routed: an in-process channel (stdio, tests,
+/// drills) or a TCP connection's bounded outbound queue. Sending to a
+/// dead connection silently drops the reply — in-flight work from a
+/// disconnected client completes and evaporates at routing, it never
+/// panics the executor.
+#[derive(Clone)]
+pub enum ReplyTx {
+    /// In-process mpsc channel.
+    Channel(Sender<Response>),
+    /// A TCP connection's writer queue (see [`crate::transport`]).
+    Conn(Arc<crate::transport::Conn>),
+}
+
+impl ReplyTx {
+    /// Deliver one response; delivery failures are swallowed.
+    pub fn send(&self, r: Response) {
+        match self {
+            ReplyTx::Channel(tx) => {
+                let _ = tx.send(r);
+            }
+            ReplyTx::Conn(conn) => conn.push_response(r),
+        }
+    }
+}
+
 struct InferJob {
     req: InferRequest,
     enqueued: Instant,
     deadline: Instant,
-    tx: Sender<Response>,
+    tx: ReplyTx,
 }
 
 enum Work {
@@ -182,11 +229,11 @@ enum Work {
         id: String,
         model: String,
         path: PathBuf,
-        tx: Sender<Response>,
+        tx: ReplyTx,
     },
     Drain {
         id: String,
-        tx: Sender<Response>,
+        tx: ReplyTx,
     },
 }
 
@@ -319,12 +366,31 @@ impl Server {
     /// Admit one request line; every outcome (including malformed input,
     /// shed and timeout) is delivered as a [`Response`] on `tx`.
     pub fn submit_line(&self, line: &str, tx: &Sender<Response>) {
+        self.submit_line_routed(line, &ReplyTx::Channel(tx.clone()));
+    }
+
+    /// Admit one request arriving as raw socket bytes. Invalid UTF-8 is a
+    /// structured `error` response (with no `id` — there is no line to
+    /// recover one from), never a reader-thread panic.
+    pub fn submit_bytes(&self, bytes: &[u8], tx: &ReplyTx) {
+        match std::str::from_utf8(bytes) {
+            Ok(line) => self.submit_line_routed(line, tx),
+            Err(_) => {
+                self.stats.received.fetch_add(1, Ordering::Relaxed);
+                trace::metrics::counter_add("serve/requests", 1);
+                self.respond_error(tx, None, "request line is not valid UTF-8");
+            }
+        }
+    }
+
+    /// [`Server::submit_line`] with an explicit reply route.
+    pub fn submit_line_routed(&self, line: &str, tx: &ReplyTx) {
         self.stats.received.fetch_add(1, Ordering::Relaxed);
         trace::metrics::counter_add("serve/requests", 1);
         if line.len() > self.config.limits.max_line_bytes {
             self.respond_error(
                 tx,
-                String::new(),
+                crate::protocol::best_effort_id(line),
                 format!(
                     "request line is {} bytes (limit {})",
                     line.len(),
@@ -352,12 +418,12 @@ impl Server {
                 let mut r = Response::new(id, Status::Ok)
                     .with_extra("healthy", if state == "ok" { 1.0 } else { 0.0 });
                 r.state = Some(state.to_string());
-                let _ = tx.send(r);
+                tx.send(r);
             }
             Request::Ready { id } => {
                 let ready =
                     self.ready.load(Ordering::Relaxed) && !self.draining.load(Ordering::Relaxed);
-                let _ = tx.send(
+                tx.send(
                     Response::new(id, Status::Ok)
                         .with_extra("ready", if ready { 1.0 } else { 0.0 }),
                 );
@@ -379,6 +445,10 @@ impl Server {
                 r = r.with_extra(
                     "inflight",
                     self.stats.inflight.load(Ordering::Relaxed) as f64,
+                );
+                r = r.with_extra(
+                    "open_conns",
+                    self.stats.open_conns.load(Ordering::Relaxed) as f64,
                 );
                 r = r.with_extra(
                     "breaker_open",
@@ -403,7 +473,7 @@ impl Server {
                     r = r.with_extra(&k, v);
                 }
                 drop(w);
-                let _ = tx.send(r);
+                tx.send(r);
             }
             Request::Drain { id } => {
                 self.draining.store(true, Ordering::Relaxed);
@@ -429,7 +499,7 @@ impl Server {
         }
     }
 
-    fn admit_infer(&self, req: InferRequest, tx: &Sender<Response>) {
+    fn admit_infer(&self, req: InferRequest, tx: &ReplyTx) {
         if self.draining.load(Ordering::Relaxed) {
             self.respond_shed(tx, req.id, "server is draining");
             return;
@@ -480,13 +550,13 @@ impl Server {
         self.shared.cv.notify_one();
     }
 
-    fn respond_error(&self, tx: &Sender<Response>, id: String, cause: impl Into<String>) {
+    fn respond_error(&self, tx: &ReplyTx, id: impl Into<Option<String>>, cause: impl Into<String>) {
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
         trace::metrics::counter_add("serve/error", 1);
-        let _ = tx.send(Response::error(id, cause));
+        tx.send(Response::error_with(id.into(), cause));
     }
 
-    fn respond_shed(&self, tx: &Sender<Response>, id: String, cause: &str) {
+    fn respond_shed(&self, tx: &ReplyTx, id: String, cause: &str) {
         self.stats.shed.fetch_add(1, Ordering::Relaxed);
         trace::metrics::counter_add("serve/shed", 1);
         {
@@ -496,7 +566,47 @@ impl Server {
         }
         let mut r = Response::new(id, Status::Shed);
         r.error = Some(cause.to_string());
-        let _ = tx.send(r);
+        tx.send(r);
+    }
+
+    /// Record an accepted TCP connection (gauge + counter + rate window).
+    pub(crate) fn record_conn_open(&self) {
+        self.stats.conn_open.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_conns.fetch_add(1, Ordering::Relaxed);
+        trace::metrics::counter_add("serve/conn_open", 1);
+        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+        let now = w.now_us();
+        w.record_conn_open(now);
+    }
+
+    /// Record a closed TCP connection, any cause.
+    pub(crate) fn record_conn_close(&self) {
+        self.stats.conn_close.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+        trace::metrics::counter_add("serve/conn_close", 1);
+        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+        let now = w.now_us();
+        w.record_conn_close(now);
+    }
+
+    /// Record a connection refused at the `--max-conns` gauge.
+    pub(crate) fn record_conn_shed(&self) {
+        self.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+        trace::metrics::counter_add("serve/conn_shed", 1);
+        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+        let now = w.now_us();
+        w.record_conn_shed(now);
+    }
+
+    /// Whether a drain has been requested (new connections and inference
+    /// are refused; queued work still completes).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// The runtime configuration (transport readers need the line limit).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
     }
 
     /// Drain and join: stop admitting, answer everything queued, shut the
@@ -512,7 +622,7 @@ impl Server {
         let (tx, rx) = std::sync::mpsc::channel();
         self.push_unbounded(Work::Drain {
             id: String::new(),
-            tx,
+            tx: ReplyTx::Channel(tx),
         });
         while rx.recv_timeout(Duration::from_millis(10)).is_err() {
             if handle.is_finished() {
@@ -612,7 +722,7 @@ impl Executor {
                     drop(q);
                     self.emit_stats(0);
                     self.emit_summary();
-                    let _ = tx.send(
+                    tx.send(
                         Response::new(id, Status::Ok)
                             .with_extra("drained", 1.0)
                             .with_extra("served_ok", self.stats.ok.load(Ordering::Relaxed) as f64),
@@ -658,6 +768,10 @@ impl Executor {
                 "breaker_open",
                 self.stats.breaker_open.load(Ordering::Relaxed).into(),
             ),
+            (
+                "open_conns",
+                self.stats.open_conns.load(Ordering::Relaxed).into(),
+            ),
         ];
         for (k, v) in &rows {
             fields.push((k.as_str(), (*v).into()));
@@ -665,7 +779,7 @@ impl Executor {
         trace::emit_event(trace::names::SERVE_STATS, &fields);
     }
 
-    fn process_reload(&mut self, id: String, model: &str, path: &PathBuf, tx: &Sender<Response>) {
+    fn process_reload(&mut self, id: String, model: &str, path: &PathBuf, tx: &ReplyTx) {
         match self.registry.reload(model, path) {
             Ok(version) => {
                 if let Some(m) = self
@@ -687,7 +801,7 @@ impl Executor {
                 );
                 let mut r = Response::new(id, Status::Ok);
                 r.model_version = Some(version);
-                let _ = tx.send(r);
+                tx.send(r);
             }
             Err(e) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -696,7 +810,7 @@ impl Executor {
                     "model_reload_failed",
                     &[("model", model.into()), ("error", e.as_str().into())],
                 );
-                let _ = tx.send(Response::error(id, e));
+                tx.send(Response::error(id, e));
             }
         }
     }
@@ -720,7 +834,7 @@ impl Executor {
             }
             let mut r = Response::new(job.req.id.clone(), Status::Timeout);
             r.error = Some("deadline expired before execution".into());
-            let _ = job.tx.send(r);
+            job.tx.send(r);
         }
         if live.is_empty() {
             return;
@@ -748,8 +862,7 @@ impl Executor {
             // structured error rather than a panic.
             for job in jobs {
                 self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
-                let _ = job
-                    .tx
+                job.tx
                     .send(Response::error(job.req.id.clone(), "model disappeared"));
             }
             return;
@@ -822,7 +935,7 @@ impl Executor {
                             let ts = w.now_us();
                             w.record_ok(ts, &timing);
                         }
-                        let _ = job.tx.send(r);
+                        job.tx.send(r);
                     } else {
                         degraded = true;
                         Self::respond_degraded(
@@ -960,7 +1073,7 @@ impl Executor {
         r.error = Some(cause.to_string());
         r.model_version = Some(version);
         r.latency_us = Some(job.enqueued.elapsed().as_micros() as u64);
-        let _ = job.tx.send(r);
+        job.tx.send(r);
     }
 
     fn respond_degraded_all(

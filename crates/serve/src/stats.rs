@@ -41,6 +41,9 @@ pub struct ServeWindows {
     shed: RateWindow,
     timeout: RateWindow,
     degraded: RateWindow,
+    conn_open: RateWindow,
+    conn_close: RateWindow,
+    conn_shed: RateWindow,
     per_version: BTreeMap<u64, u64>,
     scratch: Vec<f64>,
 }
@@ -63,6 +66,9 @@ impl ServeWindows {
             shed: rate(),
             timeout: rate(),
             degraded: rate(),
+            conn_open: rate(),
+            conn_close: rate(),
+            conn_shed: rate(),
             per_version: BTreeMap::new(),
             scratch: Vec::with_capacity(SAMPLE_CAPACITY),
         }
@@ -106,6 +112,24 @@ impl ServeWindows {
         self.degraded.record(ts_us, 1);
     }
 
+    /// A TCP connection was accepted.
+    #[inline]
+    pub fn record_conn_open(&mut self, ts_us: u64) {
+        self.conn_open.record(ts_us, 1);
+    }
+
+    /// A TCP connection closed (any cause).
+    #[inline]
+    pub fn record_conn_close(&mut self, ts_us: u64) {
+        self.conn_close.record(ts_us, 1);
+    }
+
+    /// A TCP connection was refused at the connection limit.
+    #[inline]
+    pub fn record_conn_shed(&mut self, ts_us: u64) {
+        self.conn_shed.record(ts_us, 1);
+    }
+
     /// An `ok` response with its stage breakdown: each stage lands in its
     /// own window (milliseconds) and the stage sum in the end-to-end one,
     /// so window means preserve the stages-sum-to-total invariant.
@@ -143,6 +167,12 @@ impl ServeWindows {
             ("win_shed".into(), self.shed.count(now_us) as f64),
             ("win_timeout".into(), self.timeout.count(now_us) as f64),
             ("win_degraded".into(), self.degraded.count(now_us) as f64),
+            ("win_conn_open".into(), self.conn_open.count(now_us) as f64),
+            (
+                "win_conn_close".into(),
+                self.conn_close.count(now_us) as f64,
+            ),
+            ("win_conn_shed".into(), self.conn_shed.count(now_us) as f64),
         ];
         for (name, window) in STAGE_NAMES.iter().zip(self.stages.iter()) {
             if let Some(s) = window.summary_with(now_us, &mut self.scratch) {
@@ -226,7 +256,14 @@ mod tests {
         w.record_degraded(300);
         w.record_queue_depth(400, 7);
         w.record_queue_depth(500, 3);
+        w.record_conn_open(450);
+        w.record_conn_open(460);
+        w.record_conn_close(470);
+        w.record_conn_shed(480);
         let rows = w.rows(600);
+        assert_eq!(row(&rows, "win_conn_open"), 2.0);
+        assert_eq!(row(&rows, "win_conn_close"), 1.0);
+        assert_eq!(row(&rows, "win_conn_shed"), 1.0);
         assert_eq!(row(&rows, "win_shed"), 1.0);
         assert_eq!(row(&rows, "win_timeout"), 1.0);
         assert_eq!(row(&rows, "win_degraded"), 1.0);

@@ -116,12 +116,37 @@ fn every_malformed_line_gets_a_structured_error() {
         );
         // Recoverable ids are echoed back for correlation.
         if line.starts_with('{') && line.contains("\"id\":\"m") && line.ends_with('}') {
-            assert!(r.id.starts_with('m'), "id lost for `{line}`: `{}`", r.id);
+            let id = r.id.as_deref().unwrap_or_default();
+            assert!(id.starts_with('m'), "id lost for `{line}`: `{id}`");
         }
     }
     // The server is still alive and serving.
     let ok = ask(&server, &good_line("alive"));
     assert_eq!(ok.status, Status::Ok, "{:?}", ok.error);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unrecoverable_ids_are_omitted_not_empty() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (server, dir) = start_server("noid");
+    // No id anywhere: the reply must omit the field entirely, so clients
+    // can tell "uncorrelatable" apart from a request that sent `"id":""`.
+    for line in ["GET / HTTP/1.1", r#"{"op":"explode"}"#, r#"{"nodes":3"#] {
+        let r = ask(&server, line);
+        assert_eq!(r.status, Status::Error, "`{line}`");
+        assert_eq!(r.id, None, "`{line}` should not recover an id");
+        let wire = r.to_json();
+        assert!(!wire.contains("\"id\""), "`{line}` -> `{wire}`");
+    }
+    // An empty id the client really sent is echoed back as such.
+    let r = ask(&server, r#"{"op":"explode","id":""}"#);
+    assert_eq!(r.id.as_deref(), Some(""));
+    assert!(r.to_json().contains("\"id\":\"\""));
+    // And a recoverable id inside an unparseable line still correlates.
+    let r = ask(&server, r#"{"id":"m42", <not json"#);
+    assert_eq!(r.id.as_deref(), Some("m42"));
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -184,7 +209,7 @@ fn malformed_lines_never_poison_the_batch_they_rode_in() {
         let id = format!("good{i}");
         let r = responses
             .iter()
-            .find(|r| r.id == id)
+            .find(|r| r.id.as_deref() == Some(id.as_str()))
             .unwrap_or_else(|| panic!("no response for {id}"));
         assert_eq!(r.status, Status::Ok, "{:?}", r.error);
         let got: Vec<u32> = r

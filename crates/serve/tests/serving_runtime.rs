@@ -102,7 +102,7 @@ fn ask_burst(server: &Server, lines: &[String]) -> Vec<Response> {
 fn by_id<'a>(responses: &'a [Response], id: &str) -> &'a Response {
     responses
         .iter()
-        .find(|r| r.id == id)
+        .find(|r| r.id.as_deref() == Some(id))
         .unwrap_or_else(|| panic!("no response for id {id}"))
 }
 

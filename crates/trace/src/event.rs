@@ -33,6 +33,14 @@ pub mod names {
     pub const SERVE_STATS: &str = "serve_stats";
     /// Successful hot checkpoint reload: model, new version, path.
     pub const MODEL_RELOAD: &str = "model_reload";
+    /// A TCP connection was accepted: connection id, peer address, open
+    /// connection count.
+    pub const SERVE_CONN_OPEN: &str = "serve_conn_open";
+    /// A TCP connection closed: connection id, cause (eof / idle /
+    /// slow_client / error / drain), lines read and replies written.
+    pub const SERVE_CONN_CLOSE: &str = "serve_conn_close";
+    /// A TCP connection was refused at the `--max-conns` admission gauge.
+    pub const SERVE_CONN_SHED: &str = "serve_conn_shed";
 }
 
 /// A telemetry field value.

@@ -37,6 +37,20 @@ echo "== serve drill (shed, timeout, degrade, reload, drain, stage timing) at t=
 OOD_THREADS=1 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
 OOD_THREADS=4 cargo run -p bench --release --bin serve_drill >/dev/null || status=1
 
+echo "== serve drill, socket mode (4 TCP clients, shed/slow-client/disconnect) at t=1 and t=4"
+OOD_THREADS=1 cargo run -p bench --release --bin serve_drill -- --socket >/dev/null || status=1
+OOD_THREADS=4 cargo run -p bench --release --bin serve_drill -- --socket >/dev/null || status=1
+sock_trace=$(ls -t results/telemetry/serve_drill_socket-*.jsonl 2>/dev/null | head -1 || true)
+if [ -n "$sock_trace" ]; then
+    grep -q '"name":"serve_conn_open"' "$sock_trace" || status=1
+    grep -q '"name":"serve_conn_close"' "$sock_trace" || status=1
+    grep -q '"name":"serve_conn_shed"' "$sock_trace" || status=1
+    test -s results/serve_drill_socket.json || status=1
+else
+    echo "serve_drill: no recorded socket-mode trace found" >&2
+    status=1
+fi
+
 echo "== serve_top replay smoke (serve_stats snapshots in the recorded drill trace)"
 drill_trace=$(ls -t results/telemetry/serve_drill-*.jsonl 2>/dev/null | head -1 || true)
 if [ -n "$drill_trace" ]; then
