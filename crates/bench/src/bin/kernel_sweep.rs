@@ -1,0 +1,230 @@
+//! Kernel-family sweep for the vectorized tensor layer: times each hot
+//! kernel with the SIMD-style bodies on (`OOD_SIMD=1`, the default) and
+//! off (plain scalar twins), reports the per-kernel speedup, and gates
+//! unconditionally on the two paths producing bitwise-identical output
+//! (the lane-schedule determinism contract — both bodies execute the
+//! exact same float schedule, so only speed may differ).
+//!
+//! Usage: `cargo run -p bench --release --bin kernel_sweep`
+//! (`OOD_BENCH_FAST=1` shrinks the measurement budget for smoke runs.)
+//!
+//! Markdown goes to stdout (redirect into `results/kernel_sweep.md`);
+//! progress and telemetry to stderr/JSONL as usual. A machine-readable
+//! record is written to `results/kernel_sweep.json` (override with
+//! `--json <path>`, disable with `--json -`) in the shared
+//! `bench::perf::MetricFile` format.
+
+use bench::{fmt_ns, Harness};
+use std::rc::Rc;
+use tensor::csr::CsrIndex;
+use tensor::rng::Rng;
+use tensor::{simd, Tape, Tensor};
+
+/// One swept kernel: a name and a closure producing the full output
+/// buffer, whose bits must not depend on the SIMD switch.
+struct Case {
+    name: &'static str,
+    run: Box<dyn FnMut() -> Vec<f32>>,
+}
+
+/// FNV-1a over the raw bit patterns: any single-bit difference between
+/// the vectorized and scalar outputs flips the digest.
+fn fnv1a(values: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn cases() -> Vec<Case> {
+    let mut v: Vec<Case> = Vec::new();
+
+    // Matmul microkernel (register-tiled columns, ascending k).
+    {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn([256, 256], &mut rng);
+        let b = Tensor::randn([256, 256], &mut rng);
+        v.push(Case {
+            name: "matmul_256",
+            run: Box::new(move || a.matmul(&b).into_vec()),
+        });
+    }
+
+    // Elementwise map (unrolled 8-lane body + scalar tail).
+    {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn([512, 128], &mut rng);
+        v.push(Case {
+            name: "map_cos_512x128",
+            run: Box::new(move || x.map(f32::cos).into_vec()),
+        });
+    }
+
+    // Same-shape zip and the row/column broadcast fast paths.
+    {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn([512, 128], &mut rng);
+        let y = Tensor::randn([512, 128], &mut rng);
+        v.push(Case {
+            name: "zip_add_512x128",
+            run: Box::new(move || x.add(&y).into_vec()),
+        });
+    }
+    {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn([512, 128], &mut rng);
+        let row = Tensor::randn([1, 128], &mut rng);
+        v.push(Case {
+            name: "broadcast_row_512x128",
+            run: Box::new(move || x.mul(&row).into_vec()),
+        });
+    }
+
+    // Lane-scheduled reductions (8 accumulators + pairwise combine).
+    {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn([512, 512], &mut rng);
+        v.push(Case {
+            name: "sum_512x512",
+            run: Box::new(move || vec![x.sum(), x.frobenius_sq(), x.max()]),
+        });
+    }
+    {
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn([512, 128], &mut rng);
+        v.push(Case {
+            name: "sum_rows_512x128",
+            run: Box::new(move || x.sum_rows().into_vec()),
+        });
+    }
+
+    // Row-wise log-softmax (lane max + shifted exp-sum per row).
+    {
+        let mut rng = Rng::seed_from(7);
+        let x = Tensor::randn([512, 128], &mut rng);
+        v.push(Case {
+            name: "log_softmax_512x128",
+            run: Box::new(move || {
+                let mut tape = Tape::new();
+                let xn = tape.constant(x.clone());
+                let out = tape.log_softmax(xn);
+                tape.value(out).data().to_vec()
+            }),
+        });
+    }
+
+    // CSR neighbor aggregation: 8192 message rows into 512 destinations
+    // via the inverted index (per-destination contiguous row sums).
+    {
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn([8192, 64], &mut rng);
+        let idx: Vec<usize> = (0..8192).map(|i| (i * 37) % 512).collect();
+        let csr = CsrIndex::build(&idx, 512);
+        v.push(Case {
+            name: "scatter_csr_8192to512x64",
+            run: Box::new(move || x.scatter_add_rows_csr(&csr).into_vec()),
+        });
+    }
+
+    // Fused decorrelation kernels (RFF cosine feature + weighted center).
+    {
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn([512, 64], &mut rng);
+        let w_row = Rc::new(Tensor::randn([64], &mut rng));
+        let phi_row = Rc::new(Tensor::rand_uniform(
+            [64],
+            0.0,
+            std::f32::consts::TAU,
+            &mut rng,
+        ));
+        let weights = Tensor::rand_uniform([512, 1], 0.5, 1.5, &mut rng);
+        v.push(Case {
+            name: "cos_feature+center_512x64",
+            run: Box::new(move || {
+                let mut tape = Tape::new();
+                let xn = tape.constant(x.clone());
+                let wn = tape.constant(weights.clone());
+                let feat = tape.cos_feature(xn, w_row.clone(), phi_row.clone(), 0.25);
+                let centered = tape.weighted_center(feat, wn);
+                tape.value(centered).data().to_vec()
+            }),
+        });
+    }
+
+    v
+}
+
+fn main() {
+    let json_out = bench::Args::from_env().get_str("json", "results/kernel_sweep.json");
+    let jsonl = bench::telemetry::init("kernel_sweep", 0);
+
+    println!("# Kernel sweep: vectorized vs scalar kernel bodies\n");
+    println!(
+        "Each kernel runs with the SIMD-style bodies on and off \
+         (`OOD_SIMD`). Both paths execute the identical float schedule, \
+         so the output digests must match bitwise (gated below); the \
+         table reports the resulting speedup of the vectorizable body.\n"
+    );
+    println!("| kernel | scalar | simd | speedup |");
+    println!("|---|---|---|---|");
+
+    let mut record = bench::MetricFile::new("kernel_sweep");
+    record.set_meta(
+        "hardware_cores",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .to_string(),
+    );
+    for case in cases() {
+        let Case { name, mut run } = case;
+        let mut medians = [0.0f64; 2]; // [scalar, simd]
+        let mut digest: Option<u64> = None;
+        for (slot, on) in [(0usize, false), (1usize, true)] {
+            let was = simd::set_enabled(on);
+            let d = fnv1a(&run());
+            match digest {
+                None => digest = Some(d),
+                // The unconditional bitwise gate: a digest mismatch means
+                // a vectorized body changed the float schedule.
+                Some(reference) => assert_eq!(
+                    reference, d,
+                    "{name}: simd and scalar outputs differ bitwise \
+                     — lane-schedule contract broken"
+                ),
+            }
+            let mode = if on { "simd" } else { "scalar" };
+            let mut h = Harness::new(&format!("kernel_sweep/{mode}"));
+            h.bench(name, &mut run);
+            medians[slot] = h.median_ns(name).expect("bench just ran");
+            simd::set_enabled(was);
+        }
+        let speedup = medians[0] / medians[1];
+        record.set(&format!("{name}_scalar_ns"), medians[0]);
+        record.set(&format!("{name}_simd_ns"), medians[1]);
+        record.set(&format!("{name}_speedup"), speedup);
+        record.set_meta(
+            &format!("{name}_digest"),
+            format!("{:#018x}", digest.unwrap_or(0)),
+        );
+        println!(
+            "| {name} | {} | {} | {speedup:.2}x |",
+            fmt_ns(medians[0]),
+            fmt_ns(medians[1]),
+        );
+    }
+
+    println!("\nAll kernel digests bitwise-identical across the SIMD switch.");
+    if json_out != "-" {
+        record.set_meta("verdict", "pass");
+        match record.save(&json_out) {
+            Ok(()) => eprintln!("kernel_sweep: wrote {json_out}"),
+            Err(e) => eprintln!("kernel_sweep: cannot write {json_out}: {e}"),
+        }
+    }
+    bench::telemetry::finish(&jsonl);
+}

@@ -4,7 +4,7 @@ use super::Conv;
 use graph::GraphBatch;
 use tensor::nn::{BatchNorm1d, Linear, Module, Param};
 use tensor::rng::Rng;
-use tensor::{Mode, NodeId, Tape, Tensor};
+use tensor::{Mode, NodeId, Tape};
 
 /// A GCN layer with symmetric degree normalization and added self-loops:
 /// `h' = ReLU(BN(Â h W + b))` where `Â = D̃^{-1/2}(A + I)D̃^{-1/2}`.
@@ -34,15 +34,17 @@ impl GcnConv {
         }
     }
 
-    /// The normalized neighborhood aggregation `Â x` as a tape node.
+    /// The normalized neighborhood aggregation `Â x` as a tape node. The
+    /// degree-derived norm tensors come from the batch's
+    /// [`graph::NormCache`], so the O(n+E) degree sweep runs once per
+    /// batch, not once per layer.
     pub fn aggregate(tape: &mut Tape, x: NodeId, batch: &GraphBatch) -> NodeId {
         let n = batch.num_nodes();
         let msgs = tape.index_select(x, batch.edge_src.clone());
-        let enorm: Vec<f32> = batch.gcn_edge_norm();
-        let enorm = tape.constant(Tensor::from_vec(enorm, [batch.num_edges(), 1]));
+        let enorm = tape.constant(batch.gcn_edge_norm_tensor());
         let weighted = tape.mul(msgs, enorm);
         let agg = tape.scatter_add_rows(weighted, batch.edge_dst.clone(), n);
-        let snorm = tape.constant(Tensor::from_vec(batch.gcn_self_norm(), [n, 1]));
+        let snorm = tape.constant(batch.gcn_self_norm_tensor());
         let self_term = tape.mul(x, snorm);
         tape.add(agg, self_term)
     }
@@ -94,6 +96,7 @@ impl Module for GcnConv {
 mod tests {
     use super::*;
     use graph::{Graph, Label};
+    use tensor::Tensor;
 
     fn toy_batch() -> GraphBatch {
         let mut g = Graph::new(

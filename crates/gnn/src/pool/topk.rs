@@ -56,6 +56,7 @@ pub fn topk_filter(scores: &[f32], batch: &GraphBatch, ratio: f32) -> (Vec<usize
         batch: Rc::new(new_batch_vec),
         num_graphs: batch.num_graphs,
         graph_sizes,
+        norms: graph::NormCache::default(),
     };
     (keep, sub)
 }

@@ -6,8 +6,20 @@
 //! message-passing layers and segment-pooling expect.
 
 use crate::graph::Graph;
+use std::cell::RefCell;
 use std::rc::Rc;
 use tensor::Tensor;
+
+/// Lazily computed, batch-lifetime GCN normalization tensors.
+///
+/// Degree-derived norms are pure functions of the batch topology, but the
+/// layers consume them once per *forward pass* — recomputing the O(n+E)
+/// degree sweep for every layer of every epoch dwarfed the multiplies they
+/// feed. The cache fills on first use and lives as long as the batch;
+/// clones share the already-computed tensors (tensor storage is
+/// copy-on-write, so a clone is a refcount bump).
+#[derive(Clone, Default)]
+pub struct NormCache(RefCell<Option<(Tensor, Tensor)>>);
 
 /// A disjoint union of graphs prepared for batched message passing.
 #[derive(Clone)]
@@ -24,6 +36,8 @@ pub struct GraphBatch {
     pub num_graphs: usize,
     /// Number of nodes per graph.
     pub graph_sizes: Vec<usize>,
+    /// Cached GCN normalization tensors (computed on first use).
+    pub norms: NormCache,
 }
 
 impl GraphBatch {
@@ -60,6 +74,7 @@ impl GraphBatch {
             batch: Rc::new(batch),
             num_graphs: graphs.len(),
             graph_sizes,
+            norms: NormCache::default(),
         }
     }
 
@@ -111,6 +126,29 @@ impl GraphBatch {
             .iter()
             .map(|&d| 1.0 / (d + 1) as f32)
             .collect()
+    }
+
+    /// [`GraphBatch::gcn_edge_norm`] as an `[E, 1]` tensor, computed once
+    /// per batch and shared by every layer/epoch touching it.
+    pub fn gcn_edge_norm_tensor(&self) -> Tensor {
+        self.cached_norms().0
+    }
+
+    /// [`GraphBatch::gcn_self_norm`] as an `[n, 1]` tensor, computed once
+    /// per batch and shared by every layer/epoch touching it.
+    pub fn gcn_self_norm_tensor(&self) -> Tensor {
+        self.cached_norms().1
+    }
+
+    fn cached_norms(&self) -> (Tensor, Tensor) {
+        let mut slot = self.norms.0.borrow_mut();
+        if slot.is_none() {
+            let edge = Tensor::from_vec(self.gcn_edge_norm(), [self.num_edges(), 1]);
+            let node = Tensor::from_vec(self.gcn_self_norm(), [self.num_nodes(), 1]);
+            *slot = Some((edge, node));
+        }
+        let (e, s) = slot.as_ref().unwrap();
+        (e.clone(), s.clone())
     }
 }
 

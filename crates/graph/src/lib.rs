@@ -13,7 +13,7 @@ pub mod dataset;
 pub mod graph;
 pub mod split;
 
-pub use batch::GraphBatch;
+pub use batch::{GraphBatch, NormCache};
 pub use dataset::{GraphDataset, Label, TaskType};
 pub use graph::Graph;
 pub use split::Split;

@@ -22,6 +22,7 @@
 //! differences in `tests` and by property tests.
 
 pub mod check;
+pub mod csr;
 pub mod nn;
 pub mod ops;
 pub mod optim;
@@ -31,6 +32,7 @@ pub mod profile;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 

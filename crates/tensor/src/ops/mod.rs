@@ -7,10 +7,12 @@
 
 pub mod loss;
 
+use crate::csr::{self, CsrIndex};
 use crate::par;
 use crate::pool;
 use crate::profile::Kernel;
 use crate::shape::{broadcast_shapes, reduce_grad_to, Shape};
+use crate::simd;
 use crate::tape::{NodeId, Tape};
 use crate::tensor::Tensor;
 use std::rc::Rc;
@@ -208,9 +210,9 @@ impl Op {
                 Tensor::from_vec(data, [*len, c])
             }
             Op::IndexSelect(a, idx) => v(a).index_select_rows(idx),
-            Op::ScatterAddRows(a, idx, n) => v(a).scatter_add_rows(idx, *n),
-            Op::SegmentMax(a, seg, n) => segment_extreme(v(a), seg, *n, true).0,
-            Op::SegmentMin(a, seg, n) => segment_extreme(v(a), seg, *n, false).0,
+            Op::ScatterAddRows(a, idx, n) => v(a).scatter_add_rows_csr(&csr::cached(idx, *n)),
+            Op::SegmentMax(a, seg, n) => segment_extreme(v(a), &csr::cached(seg, *n), true).0,
+            Op::SegmentMin(a, seg, n) => segment_extreme(v(a), &csr::cached(seg, *n), false).0,
             Op::LogSoftmax(a) => log_softmax(v(a)),
             Op::WeightedCenter(a, b) => weighted_center_forward(v(a), v(b)),
             Op::ScaledMaskedSqSum(a, mask, scale) => {
@@ -362,14 +364,20 @@ impl Op {
             }
             Op::IndexSelect(a, idx) => {
                 let n = v(a).nrows();
-                vec![(*a, grad.scatter_add_rows(idx, n))]
+                vec![(*a, grad.scatter_add_rows_csr(&csr::cached(idx, n)))]
             }
             Op::ScatterAddRows(a, idx, _) => vec![(*a, grad.index_select_rows(idx))],
             Op::SegmentMax(a, seg, n) => {
-                vec![(*a, segment_extreme_backward(v(a), seg, *n, true, grad))]
+                vec![(
+                    *a,
+                    segment_extreme_backward(v(a), &csr::cached(seg, *n), true, grad),
+                )]
             }
             Op::SegmentMin(a, seg, n) => {
-                vec![(*a, segment_extreme_backward(v(a), seg, *n, false, grad))]
+                vec![(
+                    *a,
+                    segment_extreme_backward(v(a), &csr::cached(seg, *n), false, grad),
+                )]
             }
             Op::WeightedCenter(a, b) => {
                 let (gx, gw) = weighted_center_backward(v(a), v(b), grad);
@@ -392,11 +400,8 @@ impl Op {
                     row_grain(c),
                     Kernel::LogSoftmax,
                     |i, g_row| {
-                        let gs: f32 = grad.row(i).iter().sum();
-                        for (j, slot) in g_row.iter_mut().enumerate() {
-                            let p = value.at(i, j).exp();
-                            *slot = grad.at(i, j) - p * gs;
-                        }
+                        let gs = simd::sum(grad.row(i));
+                        simd::zip_to(grad.row(i), value.row(i), g_row, |g, lp| g - lp.exp() * gs);
                     },
                 );
                 vec![(*a, g)]
@@ -492,31 +497,15 @@ fn concat_cols(parts: &[&Tensor]) -> Tensor {
 /// Per-segment extreme over rows: `(values, argrows)`. Empty segments give 0
 /// and argrow `usize::MAX`. Tie-break: first row wins.
 ///
-/// Parallelized over *output* segments through an inverted segment → input
-/// rows index; within a segment candidates are scanned in ascending input
+/// Parallelized over *output* segments through a (typically cached)
+/// [`CsrIndex`]; within a segment candidates are scanned in ascending input
 /// row order with the same strict comparison as the original input-order
 /// sweep, so values, tie-breaks and argrows are identical at any thread
 /// count.
-fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor, Vec<usize>) {
+fn segment_extreme(x: &Tensor, csr: &CsrIndex, is_max: bool) -> (Tensor, Vec<usize>) {
     let (r, c) = x.shape().as_matrix();
-    assert_eq!(r, seg.len(), "segment ids must cover every row");
-    for &s in seg {
-        assert!(s < n, "segment id {s} out of range {n}");
-    }
-    // Invert: CSR-style segment -> sorted input rows.
-    let mut counts = vec![0usize; n + 1];
-    for &s in seg {
-        counts[s + 1] += 1;
-    }
-    for s in 0..n {
-        counts[s + 1] += counts[s];
-    }
-    let mut members = vec![0usize; r];
-    let mut cursor = counts.clone();
-    for (i, &s) in seg.iter().enumerate() {
-        members[cursor[s]] = i;
-        cursor[s] += 1;
-    }
+    assert_eq!(r, csr.num_items(), "segment ids must cover every row");
+    let n = csr.num_rows();
     let mut vals = Tensor::zeros([n, c]);
     let mut args = vec![usize::MAX; n * c];
     {
@@ -531,7 +520,7 @@ fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor
                 // Disjoint args rows: each segment is visited by one chunk.
                 let arg_row =
                     unsafe { std::slice::from_raw_parts_mut(args_base.get().add(s * c), c) };
-                let rows = &members[counts[s]..counts[s + 1]];
+                let rows = csr.row(s);
                 if rows.is_empty() {
                     return; // empty segment: zeros + usize::MAX markers
                 }
@@ -564,15 +553,10 @@ fn segment_extreme(x: &Tensor, seg: &[usize], n: usize, is_max: bool) -> (Tensor
     (vals, args)
 }
 
-fn segment_extreme_backward(
-    x: &Tensor,
-    seg: &[usize],
-    n: usize,
-    is_max: bool,
-    grad: &Tensor,
-) -> Tensor {
+fn segment_extreme_backward(x: &Tensor, csr: &CsrIndex, is_max: bool, grad: &Tensor) -> Tensor {
     let (r, c) = x.shape().as_matrix();
-    let (_, args) = segment_extreme(x, seg, n, is_max);
+    let n = csr.num_rows();
+    let (_, args) = segment_extreme(x, csr, is_max);
     let mut g = Tensor::zeros([r, c]);
     let gd = g.data_mut();
     for s in 0..n {
@@ -597,7 +581,7 @@ fn log_softmax(x: &Tensor) -> Tensor {
         Kernel::LogSoftmax,
         |i, out_row| {
             let row = x.row(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let m = simd::max(row);
             if m == f32::NEG_INFINITY {
                 // Degenerate row (every logit -inf): `m + ln(0)` would be
                 // NaN. Define the distribution as uniform instead so the
@@ -605,10 +589,8 @@ fn log_softmax(x: &Tensor) -> Tensor {
                 out_row.fill(-(c as f32).ln());
                 return;
             }
-            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            for (slot, &v) in out_row.iter_mut().zip(row.iter()) {
-                *slot = v - lse;
-            }
+            let lse = m + simd::sum_shifted_exp(row, m).ln();
+            simd::map_to(row, out_row, |v| v - lse);
         },
     );
     out
@@ -620,14 +602,10 @@ fn log_softmax(x: &Tensor) -> Tensor {
 fn colmeans(data: &[f32], n: usize, d: usize) -> Vec<f32> {
     let mut m = vec![0.0f32; d];
     for i in 0..n {
-        for (slot, &v) in m.iter_mut().zip(&data[i * d..(i + 1) * d]) {
-            *slot += v;
-        }
+        simd::add_assign(&mut m, &data[i * d..(i + 1) * d]);
     }
     let inv = 1.0 / n.max(1) as f32;
-    for slot in &mut m {
-        *slot *= inv;
-    }
+    simd::map_assign(&mut m, |x| x * inv);
     m
 }
 
@@ -645,9 +623,7 @@ fn weighted_center_forward(x: &Tensor, w: &Tensor) -> Tensor {
         Kernel::Elementwise,
         |i, row| {
             let wi = w.data()[i];
-            for (slot, &xv) in row.iter_mut().zip(x.row(i)) {
-                *slot = xv * wi;
-            }
+            simd::map_to(x.row(i), row, |xv| xv * wi);
         },
     );
     let mean = colmeans(&data, n, d);
@@ -688,12 +664,7 @@ fn weighted_center_backward(x: &Tensor, w: &Tensor, grad: &Tensor) -> (Tensor, T
     );
     let mut gw = pool::take_raw(n);
     par::fill(&mut gw, row_grain(d), Kernel::Reduce, |i| {
-        x.row(i)
-            .iter()
-            .zip(grad.row(i))
-            .zip(gmean.iter())
-            .map(|((&xv, &gv), &mv)| xv * (gv - mv))
-            .sum()
+        simd::center_dot(x.row(i), grad.row(i), &gmean)
     });
     (Tensor::from_vec(gx, [n, d]), Tensor::from_vec(gw, [n, 1]))
 }
@@ -707,14 +678,7 @@ fn scaled_masked_sq_sum_forward(x: &Tensor, mask: &Tensor, scale: f32) -> Tensor
         xd.len(),
         4096,
         Kernel::Reduce,
-        |range| {
-            let mut acc = 0.0f32;
-            for k in range {
-                let t = scale * xd[k] * md[k];
-                acc += t * t;
-            }
-            acc
-        },
+        |range| simd::masked_sq_sum(&xd[range.clone()], &md[range], scale),
         |a, b| a + b,
     )
     .unwrap_or(0.0);
@@ -747,10 +711,7 @@ fn cos_feature_forward(x: &Tensor, w_row: &Tensor, phi_row: &Tensor, amp: f32) -
         row_grain(d),
         Kernel::Elementwise,
         |i, row| {
-            let xr = x.row(i);
-            for (j, slot) in row.iter_mut().enumerate() {
-                *slot = (xr[j] * wd[j] + pd[j]).cos() * amp;
-            }
+            simd::cos_feature_row(x.row(i), wd, pd, amp, row);
         },
     );
     Tensor::from_vec(out, x.shape().clone())
@@ -776,11 +737,7 @@ fn cos_feature_backward(
         row_grain(d),
         Kernel::Elementwise,
         |i, row| {
-            let xr = x.row(i);
-            let gr = grad.row(i);
-            for (j, slot) in row.iter_mut().enumerate() {
-                *slot = -amp * (xr[j] * wd[j] + pd[j]).sin() * wd[j] * gr[j];
-            }
+            simd::cos_feature_grad_row(x.row(i), wd, pd, amp, grad.row(i), row);
         },
     );
     Tensor::from_vec(gx, x.shape().clone())
@@ -978,16 +935,13 @@ impl Tape {
 
     /// Per-segment mean over rows. Empty segments produce zero rows.
     pub fn segment_mean(&mut self, a: NodeId, seg: Rc<Vec<usize>>, num_segments: usize) -> NodeId {
-        let sums = self.segment_sum(a, seg.clone(), num_segments);
-        let mut counts = vec![0f32; num_segments];
-        for &s in seg.iter() {
-            counts[s] += 1.0;
-        }
-        for c in &mut counts {
-            if *c == 0.0 {
-                *c = 1.0;
-            }
-        }
+        // Degrees come from the same cached CSR index the segment-sum
+        // forward will hit, so the O(rows) count pass runs once per batch.
+        let index = csr::cached(&seg, num_segments);
+        let sums = self.segment_sum(a, seg, num_segments);
+        let counts: Vec<f32> = (0..num_segments)
+            .map(|s| (index.degree(s).max(1)) as f32)
+            .collect();
         let counts = self.constant(Tensor::from_vec(counts, [num_segments, 1]));
         self.div(sums, counts)
     }

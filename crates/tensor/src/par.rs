@@ -241,6 +241,32 @@ fn run_parallel(chunks: usize, workers: usize, task: &(dyn Fn(usize) + Sync)) {
 
 // ------------------------------------------------------------- chunked api
 
+/// Work threshold (in per-kernel work units — elements for elementwise
+/// kernels, `rows * cols` for row-blocked ones) below which a multi-chunk
+/// region runs inline on the calling thread instead of dispatching to the
+/// pool. The threads-sweep showed small elementwise kernels *regressing*
+/// under dispatch (`cos_map` 512×128 at 0.86x): waking workers and
+/// cache-bouncing a 256 KiB problem costs more than the loop itself.
+/// Cutoffs are a pure function of the kernel family — never of the thread
+/// count — so chunk boundaries and results stay bitwise-identical; only
+/// where the chunks execute changes.
+pub fn inline_cutoff(kernel: Kernel) -> usize {
+    match kernel {
+        // Cheap per-element bodies need big problems to amortize dispatch.
+        Kernel::Elementwise | Kernel::Reduce => 1 << 17,
+        // Row gathers are pure memcpy per row — similar story.
+        Kernel::Gather => 1 << 15,
+        // Heavier per-element bodies win earlier.
+        Kernel::Matmul | Kernel::LogSoftmax | Kernel::Segment | Kernel::Csr => 1 << 14,
+    }
+}
+
+/// Whether a region of `work` units dispatches to the pool (`true`) or
+/// runs inline (`false`). Thread-count independent by construction.
+pub fn would_dispatch(kernel: Kernel, work: usize) -> bool {
+    work >= inline_cutoff(kernel)
+}
+
 /// Deterministic chunk count: a pure function of the item count and the
 /// per-chunk grain — never of the thread count.
 fn chunk_count(n: usize, grain: usize) -> usize {
@@ -258,9 +284,25 @@ fn chunk_range(n: usize, chunks: usize, i: usize) -> Range<usize> {
 }
 
 /// Run `f(range)` over deterministic chunks of `0..n`, in parallel when
-/// the pool is active and the problem is big enough (more than one chunk).
-/// `f` must only touch state disjoint between chunks.
+/// the pool is active and the problem is big enough (more than one chunk
+/// *and* at least [`inline_cutoff`] work units). `f` must only touch
+/// state disjoint between chunks. `n` doubles as the work estimate; use
+/// [`for_each_chunk_weighted`] when they differ (e.g. row-chunked kernels
+/// where the work is `rows * cols`).
 pub fn for_each_chunk(n: usize, grain: usize, kernel: Kernel, f: impl Fn(Range<usize>) + Sync) {
+    for_each_chunk_weighted(n, grain, kernel, n, f);
+}
+
+/// [`for_each_chunk`] with an explicit work estimate for the inline
+/// cutoff. Chunk boundaries depend only on `n` and `grain`; `work` only
+/// decides *where* the chunks run, so determinism is unaffected.
+pub fn for_each_chunk_weighted(
+    n: usize,
+    grain: usize,
+    kernel: Kernel,
+    work: usize,
+    f: impl Fn(Range<usize>) + Sync,
+) {
     let chunks = chunk_count(n, grain);
     if chunks == 0 {
         return;
@@ -275,11 +317,11 @@ pub fn for_each_chunk(n: usize, grain: usize, kernel: Kernel, f: impl Fn(Range<u
         return;
     }
     // Multi-chunk regions are timed at every thread count (including the
-    // sequential t=1 path): chunk boundaries are a pure function of the
-    // problem size, so per-kernel region/chunk tables stay comparable
-    // like-for-like across `OOD_THREADS` settings.
+    // sequential t=1 and below-cutoff inline paths): chunk boundaries are
+    // a pure function of the problem size, so per-kernel region/chunk
+    // tables stay comparable like-for-like across `OOD_THREADS` settings.
     let start = Instant::now();
-    if threads == 1 {
+    if threads == 1 || !would_dispatch(kernel, work) {
         for i in 0..chunks {
             f(chunk_range(n, chunks, i));
         }
@@ -406,7 +448,9 @@ pub fn for_each_row(
         return;
     }
     let base = SendPtr(out.as_mut_ptr());
-    for_each_chunk(rows, grain_rows, kernel, |range| {
+    // Work estimate is the full element count, not the row count: a
+    // 100-row × 10_000-col matmul is plenty to amortize dispatch.
+    for_each_chunk_weighted(rows, grain_rows, kernel, rows * cols, |range| {
         for r in range {
             // Disjoint row slices: row ranges never overlap across chunks.
             let row = unsafe { std::slice::from_raw_parts_mut(base.get().add(r * cols), cols) };
@@ -523,6 +567,40 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 128.0 + i as f32);
         }
+    }
+
+    #[test]
+    fn inline_cutoff_pins_the_cos_map_fix() {
+        // The threads-sweep regression case: cos_map over 512×128 = 65536
+        // elements must run inline (it regressed to 0.86x under dispatch),
+        // while a 2x bigger elementwise problem still dispatches.
+        assert!(!would_dispatch(Kernel::Elementwise, 512 * 128));
+        assert!(would_dispatch(Kernel::Elementwise, 1 << 17));
+        // Heavier kernels keep dispatching at sizes the sweep showed
+        // scaling well (matmul 128³ ≈ 16K output elements).
+        assert!(would_dispatch(Kernel::Matmul, 128 * 128));
+        // Cutoffs are per-family constants: thread-count independent.
+        let before = current_threads();
+        set_threads(1);
+        let at_one = would_dispatch(Kernel::Elementwise, 512 * 128);
+        set_threads(before);
+        assert_eq!(at_one, would_dispatch(Kernel::Elementwise, 512 * 128));
+    }
+
+    #[test]
+    fn inline_regions_still_fill_correctly() {
+        // Below-cutoff multi-chunk regions run inline but must produce
+        // the same chunk boundaries and results.
+        let n = 4096; // 4 chunks at grain 1024, well below the cutoff
+        let reference: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+        let before = current_threads();
+        for t in [1, 4] {
+            set_threads(t);
+            let mut out = vec![0.0f32; n];
+            fill(&mut out, 1024, Kernel::Elementwise, |i| (i as f32).cos());
+            assert_eq!(out, reference, "threads={t}");
+        }
+        set_threads(before);
     }
 
     #[test]

@@ -117,10 +117,12 @@ pub enum Kernel {
     Gather = 4,
     /// Chunked map-reduce accumulations (e.g. HSIC pair sums).
     Reduce = 5,
+    /// CSR per-destination-row aggregation (cached-index scatter-add).
+    Csr = 6,
 }
 
 /// Number of [`Kernel`] families tracked.
-pub const N_KERNELS: usize = 6;
+pub const N_KERNELS: usize = 7;
 
 /// Display names, indexed like the per-kernel counters.
 pub const KERNEL_NAMES: [&str; N_KERNELS] = [
@@ -130,6 +132,7 @@ pub const KERNEL_NAMES: [&str; N_KERNELS] = [
     "segment",
     "gather",
     "reduce",
+    "csr",
 ];
 
 static PAR_REGIONS: [AtomicU64; N_KERNELS] = [const { AtomicU64::new(0) }; N_KERNELS];
@@ -201,6 +204,12 @@ pub struct ProfileSnapshot {
     /// Buffer-pool counters (hits, misses, bytes reused, …) from the
     /// tensor memory engine ([`crate::pool`]).
     pub pool: crate::pool::PoolStats,
+    /// Whether the vectorized kernel bodies ([`crate::simd`]) are active.
+    pub simd: bool,
+    /// CSR index-cache hits ([`crate::csr`]) since the last reset.
+    pub csr_hits: u64,
+    /// CSR index-cache misses (index builds) since the last reset.
+    pub csr_misses: u64,
 }
 
 impl ProfileSnapshot {
@@ -267,6 +276,9 @@ pub fn snapshot() -> ProfileSnapshot {
         par_chunks,
         par_nanos,
         pool: crate::pool::stats(),
+        simd: crate::simd::enabled(),
+        csr_hits: crate::csr::cache_stats().0,
+        csr_misses: crate::csr::cache_stats().1,
     }
 }
 
@@ -284,6 +296,7 @@ pub fn reset() {
         PAR_CHUNKS[k].store(0, Ordering::Relaxed);
         PAR_NANOS[k].store(0, Ordering::Relaxed);
     }
+    crate::csr::reset_stats();
 }
 
 #[cfg(test)]

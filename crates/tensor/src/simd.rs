@@ -1,0 +1,575 @@
+//! Vectorized kernel bodies: 8-lane unrolled loops with scalar tails.
+//!
+//! Every function here comes in two implementations — a *vectorized* body
+//! written as manual 8-wide blocks the compiler can autovectorize (array
+//! accumulators, `chunks_exact(8)` main loops, scalar tails) and a
+//! *scalar reference* body that executes the **exact same float schedule**
+//! one element at a time. Which one runs is selected at runtime by the
+//! `OOD_SIMD` switch ([`enabled`]/[`set_enabled`], mirroring the buffer
+//! pool's `OOD_POOL` idiom), so the `kernel_sweep` bench can A/B the two
+//! paths in one process and the determinism suite can compare them
+//! bitwise.
+//!
+//! ## The fixed-order accumulation contract
+//!
+//! The bitwise-determinism contract of this workspace requires every
+//! kernel to produce identical bits at any `OOD_THREADS` × `OOD_POOL` ×
+//! `OOD_SIMD` setting. For elementwise maps and zips that is trivial
+//! (element `i` is a pure function of input `i`). For reductions, the
+//! accumulation *schedule* is part of the kernel's definition:
+//!
+//! * the first `len - len % 8` elements feed eight lane accumulators —
+//!   lane `l` combines elements `l, l+8, l+16, …` in ascending order;
+//! * the eight lanes are combined in a fixed pairwise tree:
+//!   `((l0⊕l1)⊕(l2⊕l3)) ⊕ ((l4⊕l5)⊕(l6⊕l7))`;
+//! * the scalar tail is folded in afterwards, left to right.
+//!
+//! Both the vectorized and the scalar-reference bodies implement this
+//! schedule exactly, so they agree bitwise; chunked callers then combine
+//! per-chunk partials with [`crate::par::tree_reduce`], whose order is a
+//! pure function of the chunk count. The matmul microkernel needs no lane
+//! schedule at all: its vector dimension is the *output* column, and each
+//! output element still accumulates over `k` in strict ascending order —
+//! bitwise-identical to the classic i-k-j loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lane width of the unrolled kernel bodies (f32x8-style blocking).
+pub const LANES: usize = 8;
+
+// ------------------------------------------------------------- enable flag
+
+/// 0 = uninitialized (consult `OOD_SIMD`), 1 = enabled, 2 = disabled.
+static ENABLED: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the vectorized bodies are active. Defaults to on; `OOD_SIMD=0`
+/// selects the scalar-reference bodies at first use.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let on = !std::env::var("OOD_SIMD").is_ok_and(|v| v == "0");
+            // Racing initializers read the same env var.
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+        1 => true,
+        _ => false,
+    }
+}
+
+/// Select the vectorized (`true`) or scalar-reference (`false`) bodies at
+/// runtime, overriding `OOD_SIMD`. Returns the previous setting. Both
+/// paths are bitwise-identical, so this only changes speed, never results.
+pub fn set_enabled(on: bool) -> bool {
+    let prev = enabled();
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    prev
+}
+
+// ------------------------------------------------------- elementwise maps
+
+/// `out[i] = f(src[i])`. Order-preserving, so both bodies are trivially
+/// bitwise-identical.
+pub fn map_to(src: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(src.len(), out.len());
+    if enabled() {
+        let mut chunks = src.chunks_exact(LANES).zip(out.chunks_exact_mut(LANES));
+        for (s, o) in &mut chunks {
+            for l in 0..LANES {
+                o[l] = f(s[l]);
+            }
+        }
+        let main = src.len() - src.len() % LANES;
+        for (s, o) in src[main..].iter().zip(out[main..].iter_mut()) {
+            *o = f(*s);
+        }
+    } else {
+        for (s, o) in src.iter().zip(out.iter_mut()) {
+            *o = f(*s);
+        }
+    }
+}
+
+/// `out[i] = f(out[i])` in place.
+pub fn map_assign(out: &mut [f32], f: impl Fn(f32) -> f32) {
+    if enabled() {
+        for o in out.chunks_exact_mut(LANES) {
+            for v in o.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        let main = out.len() - out.len() % LANES;
+        for o in &mut out[main..] {
+            *o = f(*o);
+        }
+    } else {
+        for o in out.iter_mut() {
+            *o = f(*o);
+        }
+    }
+}
+
+/// `out[i] = f(a[i], b[i])` for same-length slices.
+pub fn zip_to(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    if enabled() {
+        let mut it = a
+            .chunks_exact(LANES)
+            .zip(b.chunks_exact(LANES))
+            .zip(out.chunks_exact_mut(LANES));
+        for ((av, bv), o) in &mut it {
+            for l in 0..LANES {
+                o[l] = f(av[l], bv[l]);
+            }
+        }
+        let main = a.len() - a.len() % LANES;
+        for ((av, bv), o) in a[main..]
+            .iter()
+            .zip(b[main..].iter())
+            .zip(out[main..].iter_mut())
+        {
+            *o = f(*av, *bv);
+        }
+    } else {
+        for ((av, bv), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+            *o = f(*av, *bv);
+        }
+    }
+}
+
+/// `acc[i] += x[i]`. The CSR aggregation inner loop: per output element
+/// the addition order over input rows is whatever the caller's row order
+/// is, so this stays bitwise-identical to the classic scatter loop.
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    if enabled() {
+        let mut it = acc.chunks_exact_mut(LANES).zip(x.chunks_exact(LANES));
+        for (a, v) in &mut it {
+            for l in 0..LANES {
+                a[l] += v[l];
+            }
+        }
+        let main = acc.len() - acc.len() % LANES;
+        for (a, v) in acc[main..].iter_mut().zip(x[main..].iter()) {
+            *a += v;
+        }
+    } else {
+        for (a, v) in acc.iter_mut().zip(x.iter()) {
+            *a += v;
+        }
+    }
+}
+
+/// `acc[i] += alpha * x[i]`.
+pub fn axpy_assign(acc: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    if enabled() {
+        let mut it = acc.chunks_exact_mut(LANES).zip(x.chunks_exact(LANES));
+        for (a, v) in &mut it {
+            for l in 0..LANES {
+                a[l] += alpha * v[l];
+            }
+        }
+        let main = acc.len() - acc.len() % LANES;
+        for (a, v) in acc[main..].iter_mut().zip(x[main..].iter()) {
+            *a += alpha * v;
+        }
+    } else {
+        for (a, v) in acc.iter_mut().zip(x.iter()) {
+            *a += alpha * v;
+        }
+    }
+}
+
+// ---------------------------------------------------------- lane reductions
+
+/// Combine eight lane accumulators in the fixed pairwise order that is
+/// part of the reduction schedule (see the module docs).
+#[inline]
+fn combine_lanes(l: [f32; LANES], op: impl Fn(f32, f32) -> f32) -> f32 {
+    op(
+        op(op(l[0], l[1]), op(l[2], l[3])),
+        op(op(l[4], l[5]), op(l[6], l[7])),
+    )
+}
+
+/// The shared reduction engine: `fold(op, init, term(x) for x in xs)` under
+/// the fixed lane schedule. The vectorized body runs 8 lanes per block;
+/// the scalar body feeds the same lanes one element at a time (identical
+/// operand order per lane, no unrolling) — bitwise-equal by construction.
+#[inline]
+fn lane_fold(
+    xs: &[f32],
+    init: f32,
+    term: impl Fn(f32) -> f32,
+    op: impl Fn(f32, f32) -> f32,
+) -> f32 {
+    let main = xs.len() - xs.len() % LANES;
+    let mut lanes = [init; LANES];
+    if enabled() {
+        for block in xs[..main].chunks_exact(LANES) {
+            for l in 0..LANES {
+                lanes[l] = op(lanes[l], term(block[l]));
+            }
+        }
+    } else {
+        for (i, &x) in xs[..main].iter().enumerate() {
+            lanes[i % LANES] = op(lanes[i % LANES], term(x));
+        }
+    }
+    let mut acc = combine_lanes(lanes, &op);
+    for &x in &xs[main..] {
+        acc = op(acc, term(x));
+    }
+    acc
+}
+
+/// Two-input variant of [`lane_fold`] for fused product reductions.
+#[inline]
+fn lane_fold2(
+    xs: &[f32],
+    ys: &[f32],
+    init: f32,
+    term: impl Fn(f32, f32) -> f32,
+    op: impl Fn(f32, f32) -> f32,
+) -> f32 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let main = xs.len() - xs.len() % LANES;
+    let mut lanes = [init; LANES];
+    if enabled() {
+        for (bx, by) in xs[..main]
+            .chunks_exact(LANES)
+            .zip(ys[..main].chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                lanes[l] = op(lanes[l], term(bx[l], by[l]));
+            }
+        }
+    } else {
+        for (i, (&x, &y)) in xs[..main].iter().zip(ys[..main].iter()).enumerate() {
+            lanes[i % LANES] = op(lanes[i % LANES], term(x, y));
+        }
+    }
+    let mut acc = combine_lanes(lanes, &op);
+    for (&x, &y) in xs[main..].iter().zip(ys[main..].iter()) {
+        acc = op(acc, term(x, y));
+    }
+    acc
+}
+
+/// Sum under the fixed lane schedule.
+pub fn sum(xs: &[f32]) -> f32 {
+    lane_fold(xs, 0.0, |x| x, |a, b| a + b)
+}
+
+/// Sum of squares under the fixed lane schedule.
+pub fn sq_sum(xs: &[f32]) -> f32 {
+    lane_fold(xs, 0.0, |x| x * x, |a, b| a + b)
+}
+
+/// `Σ ((scale · x) ⊙ mask)²` under the fixed lane schedule — the
+/// scaled-masked-square-sum chunk body.
+pub fn masked_sq_sum(xs: &[f32], mask: &[f32], scale: f32) -> f32 {
+    lane_fold2(
+        xs,
+        mask,
+        0.0,
+        |x, m| {
+            let t = scale * x * m;
+            t * t
+        },
+        |a, b| a + b,
+    )
+}
+
+/// `Σ exp(x − m)` under the fixed lane schedule — the log-softmax
+/// normalizer body.
+pub fn sum_shifted_exp(xs: &[f32], m: f32) -> f32 {
+    lane_fold(xs, 0.0, |x| (x - m).exp(), |a, b| a + b)
+}
+
+/// Maximum element under the fixed lane schedule (−∞ for empty slices).
+pub fn max(xs: &[f32]) -> f32 {
+    lane_fold(xs, f32::NEG_INFINITY, |x| x, f32::max)
+}
+
+/// `Σ x[j] · (g[j] − mean[j])` under the fixed lane schedule — the
+/// weighted-center backward row dot.
+pub fn center_dot(x: &[f32], g: &[f32], mean: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), g.len());
+    debug_assert_eq!(x.len(), mean.len());
+    let main = x.len() - x.len() % LANES;
+    let mut lanes = [0.0f32; LANES];
+    if enabled() {
+        for ((bx, bg), bm) in x[..main]
+            .chunks_exact(LANES)
+            .zip(g[..main].chunks_exact(LANES))
+            .zip(mean[..main].chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                lanes[l] += bx[l] * (bg[l] - bm[l]);
+            }
+        }
+    } else {
+        for (i, ((&xv, &gv), &mv)) in x[..main]
+            .iter()
+            .zip(g[..main].iter())
+            .zip(mean[..main].iter())
+            .enumerate()
+        {
+            lanes[i % LANES] += xv * (gv - mv);
+        }
+    }
+    let mut acc = combine_lanes(lanes, |a, b| a + b);
+    for ((&xv, &gv), &mv) in x[main..]
+        .iter()
+        .zip(g[main..].iter())
+        .zip(mean[main..].iter())
+    {
+        acc += xv * (gv - mv);
+    }
+    acc
+}
+
+// ------------------------------------------------------ matmul microkernel
+
+/// Column tile width of the matmul microkernel: two 8-lane register
+/// accumulator arrays per tile.
+const MM_TILE: usize = 2 * LANES;
+
+/// One output row of `C = A·B`: `out_row[j] = Σ_k a_row[k] · b[k,j]` with
+/// `b` row-major `[k, n]`. `out_row` must be zeroed by the caller.
+///
+/// The vectorized body tiles the output row into 16-column blocks held in
+/// register accumulator arrays across the whole `k` loop (one load/store
+/// of the output per tile instead of per `k`). Per output element the
+/// accumulation order is strict ascending `k` with the same
+/// skip-zero-`a[k]` guard as the reference loop, so both bodies — and the
+/// pre-existing i-k-j kernel — are bitwise-identical.
+pub fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(out_row.len(), n);
+    debug_assert_eq!(b.len(), a_row.len() * n);
+    if !enabled() {
+        // Scalar reference: classic i-k-j inner loops.
+        for (kk, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a * bv;
+            }
+        }
+        return;
+    }
+    let mut j0 = 0;
+    while j0 + MM_TILE <= n {
+        let mut acc = [0.0f32; MM_TILE];
+        for (kk, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_tile = &b[kk * n + j0..kk * n + j0 + MM_TILE];
+            for l in 0..MM_TILE {
+                acc[l] += a * b_tile[l];
+            }
+        }
+        out_row[j0..j0 + MM_TILE].copy_from_slice(&acc);
+        j0 += MM_TILE;
+    }
+    if j0 < n {
+        // Tail columns: same k-ascending order, unblocked.
+        let tail = &mut out_row[j0..];
+        for (kk, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_tail = &b[kk * n + j0..(kk + 1) * n];
+            for (o, &bv) in tail.iter_mut().zip(b_tail.iter()) {
+                *o += a * bv;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- fused RFF bodies
+
+/// One row of the fused RFF feature: `out[j] = amp · cos(x[j]·w[j] + φ[j])`.
+pub fn cos_feature_row(x: &[f32], w: &[f32], phi: &[f32], amp: f32, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    if enabled() {
+        let mut it = x
+            .chunks_exact(LANES)
+            .zip(w.chunks_exact(LANES))
+            .zip(phi.chunks_exact(LANES))
+            .zip(out.chunks_exact_mut(LANES));
+        for (((xv, wv), pv), o) in &mut it {
+            for l in 0..LANES {
+                o[l] = (xv[l] * wv[l] + pv[l]).cos() * amp;
+            }
+        }
+        let main = x.len() - x.len() % LANES;
+        for (j, o) in out[main..].iter_mut().enumerate() {
+            let j = main + j;
+            *o = (x[j] * w[j] + phi[j]).cos() * amp;
+        }
+    } else {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = (x[j] * w[j] + phi[j]).cos() * amp;
+        }
+    }
+}
+
+/// One row of the fused RFF backward:
+/// `out[j] = −amp · sin(x[j]·w[j] + φ[j]) · w[j] · g[j]`.
+pub fn cos_feature_grad_row(
+    x: &[f32],
+    w: &[f32],
+    phi: &[f32],
+    amp: f32,
+    g: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), out.len());
+    if enabled() {
+        let mut it = x
+            .chunks_exact(LANES)
+            .zip(w.chunks_exact(LANES))
+            .zip(phi.chunks_exact(LANES))
+            .zip(g.chunks_exact(LANES))
+            .zip(out.chunks_exact_mut(LANES));
+        for ((((xv, wv), pv), gv), o) in &mut it {
+            for l in 0..LANES {
+                o[l] = -amp * (xv[l] * wv[l] + pv[l]).sin() * wv[l] * gv[l];
+            }
+        }
+        let main = x.len() - x.len() % LANES;
+        for (j, o) in out[main..].iter_mut().enumerate() {
+            let j = main + j;
+            *o = -amp * (x[j] * w[j] + phi[j]).sin() * w[j] * g[j];
+        }
+    } else {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = -amp * (x[j] * w[j] + phi[j]).sin() * w[j] * g[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` under both bodies and assert bitwise-equal scalar results.
+    fn both(f: impl Fn() -> f32) -> f32 {
+        let prev = set_enabled(true);
+        let v = f();
+        set_enabled(false);
+        let s = f();
+        set_enabled(prev);
+        assert_eq!(v.to_bits(), s.to_bits(), "vectorized {v} vs scalar {s}");
+        v
+    }
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn reductions_match_across_bodies_and_lengths() {
+        // Lengths straddling the 8-lane boundary, including empty.
+        for n in [0usize, 1, 7, 8, 9, 64, 65, 1000] {
+            let xs = data(n);
+            let m = data(n).iter().map(|x| x.abs().min(1.0)).collect::<Vec<_>>();
+            both(|| sum(&xs));
+            both(|| sq_sum(&xs));
+            both(|| masked_sq_sum(&xs, &m, 0.7));
+            both(|| max(&xs));
+            if n > 0 {
+                let mx = max(&xs);
+                both(|| sum_shifted_exp(&xs, mx));
+            }
+            both(|| center_dot(&xs, &m, &xs));
+        }
+    }
+
+    #[test]
+    fn lane_schedule_is_the_documented_one() {
+        // 9 elements: lanes get one element each, tail element folds last.
+        let xs: Vec<f32> = (0..9).map(|i| (i + 1) as f32).collect();
+        let lanes: Vec<f32> = xs[..8].to_vec();
+        let expect = (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])))
+            + xs[8];
+        assert_eq!(sum(&xs).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn maps_preserve_element_order() {
+        for n in [0usize, 5, 8, 17, 200] {
+            let xs = data(n);
+            let expect: Vec<f32> = xs.iter().map(|x| x.cos()).collect();
+            for on in [true, false] {
+                let prev = set_enabled(on);
+                let mut out = vec![0.0; n];
+                map_to(&xs, &mut out, f32::cos);
+                assert_eq!(out, expect);
+                let mut inpl = xs.clone();
+                map_assign(&mut inpl, f32::cos);
+                assert_eq!(inpl, expect);
+                let mut z = vec![0.0; n];
+                zip_to(&xs, &expect, &mut z, |a, b| a * b);
+                let ze: Vec<f32> = xs.iter().zip(&expect).map(|(a, b)| a * b).collect();
+                assert_eq!(z, ze);
+                let mut acc = xs.clone();
+                add_assign(&mut acc, &expect);
+                let ae: Vec<f32> = xs.iter().zip(&expect).map(|(a, b)| a + b).collect();
+                assert_eq!(acc, ae);
+                let mut axv = xs.clone();
+                axpy_assign(&mut axv, 0.5, &expect);
+                let axe: Vec<f32> = xs.iter().zip(&expect).map(|(a, b)| a + 0.5 * b).collect();
+                assert_eq!(axv, axe);
+                set_enabled(prev);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_row_matches_reference_bitwise() {
+        // Odd n exercises the tail path; a zero in a_row the skip guard.
+        for (k, n) in [(4usize, 5usize), (7, 16), (13, 35), (8, 64)] {
+            let mut a = data(k);
+            a[k / 2] = 0.0;
+            let b = data(k * n);
+            let mut reference = vec![0.0f32; n];
+            for (kk, &av) in a.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    reference[j] += av * b[kk * n + j];
+                }
+            }
+            for on in [true, false] {
+                let prev = set_enabled(on);
+                let mut out = vec![0.0f32; n];
+                matmul_row(&a, &b, n, &mut out);
+                for (o, r) in out.iter().zip(reference.iter()) {
+                    assert_eq!(o.to_bits(), r.to_bits(), "simd={on} k={k} n={n}");
+                }
+                set_enabled(prev);
+            }
+        }
+    }
+
+    #[test]
+    fn set_enabled_round_trips() {
+        let prev = enabled();
+        assert_eq!(set_enabled(false), prev);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(prev);
+    }
+}

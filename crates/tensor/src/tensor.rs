@@ -5,6 +5,7 @@ use crate::pool;
 use crate::profile::Kernel;
 use crate::rng::Rng;
 use crate::shape::{broadcast_shapes, BroadcastMap, Shape};
+use crate::simd;
 use std::fmt;
 use std::sync::Arc;
 
@@ -287,27 +288,53 @@ impl Tensor {
     // ------------------------------------------------------- element-wise
 
     /// Apply `f` to every element, producing a new tensor. Chunked over
-    /// the parallel pool for large tensors; element order (and therefore
-    /// the result, bitwise) is identical at any thread count.
+    /// the parallel pool for large tensors, with the vectorized
+    /// [`simd::map_to`] body inside each chunk; element order (and
+    /// therefore the result, bitwise) is identical at any thread count.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut data = pool::take_raw(self.data.len());
-        par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
-            f(self.data[i])
-        });
+        let base = par::SendPtr(data.as_mut_ptr());
+        par::for_each_chunk(
+            data.len(),
+            ELEMENTWISE_GRAIN,
+            Kernel::Elementwise,
+            |range| {
+                // Disjoint subslice: chunk ranges never overlap.
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(range.start), range.len())
+                };
+                simd::map_to(&self.data[range], out, &f);
+            },
+        );
         Tensor::from_raw(data, self.shape.clone())
     }
 
     /// Apply `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        par::map_inplace(
-            self.data.make_mut(),
+        let data = self.data.make_mut();
+        let base = par::SendPtr(data.as_mut_ptr());
+        par::for_each_chunk(
+            data.len(),
             ELEMENTWISE_GRAIN,
             Kernel::Elementwise,
-            f,
+            |range| {
+                // Disjoint subslice: chunk ranges never overlap.
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(range.start), range.len())
+                };
+                simd::map_assign(out, &f);
+            },
         );
     }
 
     /// Broadcasting binary op: `f(a, b)` with NumPy broadcast semantics.
+    ///
+    /// Same-shape pairs and the matrix-broadcast patterns on the message-
+    /// passing hot path (scalar, row-vector `[c]`/`[1,c]`, column-vector
+    /// `[r,1]` against a `[r,c]` matrix) take vectorized slice kernels;
+    /// everything else goes through the general per-index
+    /// [`BroadcastMap`]. All paths apply `f` to exactly the same operand
+    /// pairs, so which one runs is not observable in the result bits.
     ///
     /// # Panics
     /// Panics if the shapes are not broadcast-compatible.
@@ -315,13 +342,32 @@ impl Tensor {
         if self.shape == other.shape {
             // Fast path: same shape, no index mapping.
             let mut data = pool::take_raw(self.data.len());
-            par::fill(&mut data, ELEMENTWISE_GRAIN, Kernel::Elementwise, |i| {
-                f(self.data[i], other.data[i])
-            });
+            let base = par::SendPtr(data.as_mut_ptr());
+            par::for_each_chunk(
+                self.data.len(),
+                ELEMENTWISE_GRAIN,
+                Kernel::Elementwise,
+                |range| {
+                    // Disjoint subslice: chunk ranges never overlap.
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(base.get().add(range.start), range.len())
+                    };
+                    simd::zip_to(&self.data[range.clone()], &other.data[range], out, &f);
+                },
+            );
             return Tensor::from_raw(data, self.shape.clone());
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)
             .unwrap_or_else(|| panic!("incompatible broadcast: {} vs {}", self.shape, other.shape));
+        if out_shape == self.shape {
+            if let Some(t) = Self::zip_big_small(self, other, &f) {
+                return t;
+            }
+        } else if out_shape == other.shape {
+            if let Some(t) = Self::zip_big_small(other, self, &|a, b| f(b, a)) {
+                return t;
+            }
+        }
         let map = BroadcastMap::new(&self.shape, &other.shape, &out_shape);
         let n = out_shape.numel();
         let mut data = pool::take_raw(n);
@@ -330,6 +376,57 @@ impl Tensor {
             f(self.data[ia], other.data[ib])
         });
         Tensor::from_raw(data, out_shape)
+    }
+
+    /// Vectorized broadcast fast paths for `big (op) small` where the
+    /// output has `big`'s shape: `small` a scalar (any `big` rank), or a
+    /// row/column vector against a rank-2 `big`. Returns `None` when the
+    /// pattern doesn't match and the caller must use the general path.
+    fn zip_big_small(
+        big: &Tensor,
+        small: &Tensor,
+        f: &(impl Fn(f32, f32) -> f32 + Sync),
+    ) -> Option<Tensor> {
+        if small.numel() == 1 {
+            let s = small.data[0];
+            return Some(big.map(|x| f(x, s)));
+        }
+        if big.shape.dims().len() != 2 {
+            return None;
+        }
+        let (r, c) = big.shape.as_matrix();
+        let sd = small.shape.dims();
+        let row_grain = (ELEMENTWISE_GRAIN / c.max(1)).max(1);
+        if sd == [c] || sd == [1, c] {
+            let mut out = Tensor::zeros([r, c]);
+            par::for_each_row(
+                out.data.make_mut(),
+                r,
+                c,
+                row_grain,
+                Kernel::Elementwise,
+                |i, out_row| {
+                    simd::zip_to(&big.data[i * c..(i + 1) * c], &small.data, out_row, f);
+                },
+            );
+            return Some(out);
+        }
+        if sd == [r, 1] {
+            let mut out = Tensor::zeros([r, c]);
+            par::for_each_row(
+                out.data.make_mut(),
+                r,
+                c,
+                row_grain,
+                Kernel::Elementwise,
+                |i, out_row| {
+                    let s = small.data[i];
+                    simd::map_to(&big.data[i * c..(i + 1) * c], out_row, |x| f(x, s));
+                },
+            );
+            return Some(out);
+        }
+        None
     }
 
     /// Element-wise (broadcasting) addition.
@@ -365,16 +462,14 @@ impl Tensor {
     /// In-place `self += alpha * other` (same shapes).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.make_mut().iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        simd::axpy_assign(self.data.make_mut(), alpha, &other.data);
     }
 
     // ----------------------------------------------------------- reductions
 
-    /// Sum of all elements.
+    /// Sum of all elements, under the fixed [`simd`] lane schedule.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        simd::sum(&self.data)
     }
 
     /// Mean of all elements (0 for empty tensors).
@@ -388,7 +483,7 @@ impl Tensor {
 
     /// Maximum element (−∞ for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        simd::max(&self.data)
     }
 
     /// Minimum element (+∞ for empty tensors).
@@ -397,13 +492,12 @@ impl Tensor {
     }
 
     /// Sum over axis 0 of a matrix, producing a row vector of shape `[cols]`.
+    /// Rows accumulate in ascending order (per-column fixed schedule).
     pub fn sum_rows(&self) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         let mut data = pool::take_zeroed(c);
         for i in 0..r {
-            for (slot, &v) in data.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
-                *slot += v;
-            }
+            simd::add_assign(&mut data, &self.data[i * c..(i + 1) * c]);
         }
         Tensor::from_raw(data, Shape::new(&[c]))
     }
@@ -433,9 +527,10 @@ impl Tensor {
             .collect()
     }
 
-    /// Squared Frobenius norm (sum of squares of all elements).
+    /// Squared Frobenius norm (sum of squares of all elements), under the
+    /// fixed [`simd`] lane schedule.
     pub fn frobenius_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        simd::sq_sum(&self.data)
     }
 
     /// Euclidean norm.
@@ -447,10 +542,12 @@ impl Tensor {
 
     /// Dense matrix multiplication `self @ other` for rank-2 tensors.
     ///
-    /// Uses i-k-j loop order for cache-friendly access, row-blocked over
-    /// the parallel pool. Every output row is produced by exactly one
-    /// chunk with the same per-row accumulation order as the sequential
-    /// loop, so the result is bitwise-identical at any thread count.
+    /// Row-blocked over the parallel pool; each output row runs the
+    /// blocked [`simd::matmul_row`] microkernel (16-column register
+    /// accumulator tiles over an ascending-`k` loop). Per output element
+    /// the accumulation order is the classic i-k-j schedule, so the
+    /// result is bitwise-identical at any thread count and to the
+    /// scalar-reference body.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (m, k) = self.shape.as_matrix();
         let (k2, n) = other.shape.as_matrix();
@@ -468,16 +565,7 @@ impl Tensor {
             grain_rows,
             Kernel::Matmul,
             |i, out_row| {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * n..(kk + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
+                simd::matmul_row(&self.data[i * k..(i + 1) * k], &other.data, n, out_row);
             },
         );
         out
@@ -508,11 +596,13 @@ impl Tensor {
     /// Scatter-add rows: `out[indices[i]] += self[i]`, with `num_rows` output
     /// rows.
     ///
-    /// Large inputs take an index-inverted path parallelized over *output*
-    /// rows: each output row accumulates its contributions in ascending
-    /// input-row order — the same per-row float schedule as the sequential
-    /// input-order loop — so both paths (and all thread counts) produce
-    /// bitwise-identical results.
+    /// Large inputs build a [`crate::csr::CsrIndex`] and take the
+    /// per-destination-row path of [`Tensor::scatter_add_rows_csr`]; tiny
+    /// scatters stay on the sequential input-order loop (inverting the
+    /// index would cost more than the adds). Both paths accumulate each
+    /// output row's contributions in ascending input-row order — the same
+    /// per-element float schedule — so they are bitwise-identical to each
+    /// other at any thread count.
     pub fn scatter_add_rows(&self, indices: &[usize], num_rows: usize) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         assert_eq!(r, indices.len(), "scatter_add rows/indices mismatch");
@@ -522,43 +612,41 @@ impl Tensor {
                 "index {idx} out of range for {num_rows} rows"
             );
         }
-        let mut out = Tensor::zeros([num_rows, c]);
         if r * c < 4 * ELEMENTWISE_GRAIN || num_rows < 2 {
+            let mut out = Tensor::zeros([num_rows, c]);
             let out_data = out.data.make_mut();
             for (i, &idx) in indices.iter().enumerate() {
-                for j in 0..c {
-                    out_data[idx * c + j] += self.data[i * c + j];
-                }
+                simd::add_assign(
+                    &mut out_data[idx * c..(idx + 1) * c],
+                    &self.data[i * c..(i + 1) * c],
+                );
             }
             return out;
         }
-        // Invert indices into a CSR-style segment -> input rows map (input
-        // rows stay sorted within each segment by construction).
-        let mut counts = vec![0usize; num_rows + 1];
-        for &idx in indices {
-            counts[idx + 1] += 1;
-        }
-        for s in 0..num_rows {
-            counts[s + 1] += counts[s];
-        }
-        let mut members = vec![0usize; r];
-        let mut cursor = counts.clone();
-        for (i, &idx) in indices.iter().enumerate() {
-            members[cursor[idx]] = i;
-            cursor[idx] += 1;
-        }
+        self.scatter_add_rows_csr(&crate::csr::CsrIndex::build(indices, num_rows))
+    }
+
+    /// Scatter-add through a prebuilt (typically [`crate::csr::cached`])
+    /// CSR index: `out[s] = Σ self[i]` over `i ∈ csr.row(s)`, parallelized
+    /// over destination rows. The index lists input rows ascending per
+    /// destination, so every output element sees contributions in the same
+    /// order as the sequential scatter — bitwise-identical results at any
+    /// thread count, attributed to the `csr` kernel family in profiles.
+    pub fn scatter_add_rows_csr(&self, csr: &crate::csr::CsrIndex) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        assert_eq!(r, csr.num_items(), "scatter_add rows/index mismatch");
+        let num_rows = csr.num_rows();
+        let mut out = Tensor::zeros([num_rows, c]);
         let grain_rows = ((4 * ELEMENTWISE_GRAIN) / c.max(1)).max(1);
         par::for_each_row(
             out.data.make_mut(),
             num_rows,
             c,
             grain_rows,
-            Kernel::Segment,
+            Kernel::Csr,
             |s, out_row| {
-                for &i in &members[counts[s]..counts[s + 1]] {
-                    for (o, &v) in out_row.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
-                        *o += v;
-                    }
+                for &i in csr.row(s) {
+                    simd::add_assign(out_row, &self.data[i * c..(i + 1) * c]);
                 }
             },
         );

@@ -70,6 +70,9 @@ OOD_BENCH_FAST=1 cargo run -p bench --release --bin threads_sweep -- --json - >/
 echo "== memory sweep smoke (pool neutrality + allocation reduction)"
 OOD_BENCH_FAST=1 cargo run -p bench --release --bin mem_sweep -- --json - >/dev/null || status=1
 
+echo "== kernel sweep smoke (bitwise simd-vs-scalar gate + per-kernel speedups)"
+OOD_BENCH_FAST=1 cargo run -p bench --release --bin kernel_sweep -- --json - >/dev/null || status=1
+
 echo "== perf gate (baseline regression check at t=1 and t=4)"
 OOD_BENCH_FAST=1 OOD_THREADS=1 cargo run -p bench --release --bin perf_gate -- --tolerance 2 >/dev/null || status=1
 OOD_BENCH_FAST=1 OOD_THREADS=4 cargo run -p bench --release --bin perf_gate -- --tolerance 2 >/dev/null || status=1
